@@ -1,0 +1,286 @@
+package pnps
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (one benchmark per artefact; see DESIGN.md §5) and reports
+// the headline quantity of each as a custom benchmark metric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the full evaluation in one run. Experiment benchmarks
+// typically execute one iteration (each is a whole scenario simulation);
+// the micro-benchmarks at the bottom characterise the hot paths.
+
+import (
+	"testing"
+
+	"pnps/internal/core"
+	"pnps/internal/experiments"
+	"pnps/internal/ode"
+	"pnps/internal/pv"
+	"pnps/internal/sim"
+	"pnps/internal/soc"
+	"pnps/internal/workload"
+)
+
+// benchExperiment runs a registered experiment b.N times and reports the
+// named metrics from the final report.
+func benchExperiment(b *testing.B, id string, metrics map[string]string) {
+	b.Helper()
+	var rep *experiments.Report
+	var err error
+	for i := 0; i < b.N; i++ {
+		rep, err = experiments.Run(id, experiments.DefaultSeed)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+	for name, unit := range metrics {
+		for _, m := range rep.Metrics {
+			if m.Name == name {
+				b.ReportMetric(m.Value, unit)
+			}
+		}
+	}
+}
+
+func BenchmarkFig01SolarDayTrace(b *testing.B) {
+	benchExperiment(b, "fig1", map[string]string{
+		"peak power output": "peakW",
+	})
+}
+
+func BenchmarkFig03TransientResponse(b *testing.B) {
+	benchExperiment(b, "fig3", map[string]string{
+		"lifetime extension factor": "lifex",
+	})
+}
+
+func BenchmarkFig04PowerVsFrequency(b *testing.B) {
+	benchExperiment(b, "fig4", map[string]string{
+		"max config/frequency power": "maxW",
+	})
+}
+
+func BenchmarkFig06ShadowingSimulation(b *testing.B) {
+	benchExperiment(b, "fig6", map[string]string{
+		"min Vc with control": "minVc",
+	})
+}
+
+func BenchmarkFig07PerformanceVsPower(b *testing.B) {
+	benchExperiment(b, "fig7", map[string]string{
+		"max FPS (8 cores @1.4 GHz)": "maxFPS",
+	})
+}
+
+func BenchmarkFig10TransitionLatency(b *testing.B) {
+	benchExperiment(b, "fig10", map[string]string{
+		"slowest hot-plug": "slowMs",
+		"fastest hot-plug": "fastMs",
+	})
+}
+
+func BenchmarkTable1RequiredCapacitance(b *testing.B) {
+	benchExperiment(b, "table1", map[string]string{
+		"(b) required capacitance": "mF",
+		"(a)/(b) charge ratio":     "ratio",
+	})
+}
+
+func BenchmarkFig11ControlledSupply(b *testing.B) {
+	benchExperiment(b, "fig11", map[string]string{
+		"DVFS:hot-plug ratio": "ratio",
+	})
+}
+
+func BenchmarkFig12VoltageStabilisation(b *testing.B) {
+	benchExperiment(b, "fig12", map[string]string{
+		"time within ±5% of target": "pct5",
+	})
+}
+
+func BenchmarkFig13MPPTracking(b *testing.B) {
+	benchExperiment(b, "fig13", map[string]string{
+		"|modal − MPP voltage|": "dV",
+	})
+}
+
+func BenchmarkFig14PowerNeutrality(b *testing.B) {
+	benchExperiment(b, "fig14", map[string]string{
+		"utilisation of harvest (energy)": "pct",
+	})
+}
+
+func BenchmarkTable2GovernorComparison(b *testing.B) {
+	benchExperiment(b, "table2", map[string]string{
+		"instruction gain vs powersave": "gainPct",
+	})
+}
+
+func BenchmarkFig15ControlOverhead(b *testing.B) {
+	benchExperiment(b, "fig15", map[string]string{
+		"controller CPU overhead": "pct",
+	})
+}
+
+func BenchmarkParamSweep(b *testing.B) {
+	// A reduced grid keeps one iteration in the seconds range while
+	// exercising the full sweep machinery (cmd/pnsweep runs the paper
+	// grid).
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.RunSweep(experiments.SweepOptions{
+			VWidths:  []float64{0.144, 0.28},
+			VQs:      []float64{0.0479, 0.08},
+			Alphas:   []float64{0.12},
+			Betas:    []float64{0.479},
+			Duration: 120,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(pts[0].Stability*100, "bestPct5")
+		}
+	}
+}
+
+func BenchmarkAblationSemantics(b *testing.B) {
+	benchExperiment(b, "ablation-semantics", map[string]string{
+		"flowchart stability": "flowPct",
+		"eq2 stability":       "eq2Pct",
+	})
+}
+
+func BenchmarkAblationOrder(b *testing.B) {
+	benchExperiment(b, "ablation-order", map[string]string{
+		"min Vc, core-first":      "coreMinVc",
+		"min Vc, frequency-first": "freqMinVc",
+	})
+}
+
+func BenchmarkExtMPPTComparison(b *testing.B) {
+	benchExperiment(b, "mppt", map[string]string{
+		"implicit power-neutral efficiency": "pct",
+	})
+}
+
+func BenchmarkExtPredictiveComparison(b *testing.B) {
+	benchExperiment(b, "predictive", map[string]string{
+		"predictive lifetime under shadowing": "sec",
+	})
+}
+
+func BenchmarkExtBufferComparison(b *testing.B) {
+	benchExperiment(b, "buffers", map[string]string{
+		"power-neutral min capacitance": "mF",
+		"buffer reduction vs static":    "x",
+	})
+}
+
+// --- micro-benchmarks of the hot paths ---
+
+func BenchmarkPVCurrentSolve(b *testing.B) {
+	arr := pv.SouthamptonArray()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		v := 4.0 + float64(i%200)*0.01
+		iout, err := arr.CurrentAt(v, 850)
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc += iout
+	}
+	_ = acc
+}
+
+func BenchmarkPVMaximumPowerPoint(b *testing.B) {
+	arr := pv.SouthamptonArray()
+	for i := 0; i < b.N; i++ {
+		if _, err := arr.MaximumPowerPoint(600 + float64(i%5)*100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkControllerResponse(b *testing.B) {
+	p := core.DefaultParams()
+	opp := soc.OPP{FreqIdx: 4, Config: soc.CoreConfig{Little: 4, Big: 2}}
+	for i := 0; i < b.N; i++ {
+		which := core.CrossLow
+		if i%2 == 0 {
+			which = core.CrossHigh
+		}
+		core.Response(p, which, 0.05+float64(i%10)*0.01, opp)
+	}
+}
+
+func BenchmarkPlatformTransition(b *testing.B) {
+	plat := soc.NewDefaultPlatform()
+	plat.Reset(0, soc.MinOPP())
+	t := 0.0
+	for i := 0; i < b.N; i++ {
+		target := soc.MaxOPP()
+		if i%2 == 1 {
+			target = soc.MinOPP()
+		}
+		done, err := plat.RequestOPP(target, t, soc.CoreFirst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := plat.Advance(done); err != nil {
+			b.Fatal(err)
+		}
+		t = done
+	}
+}
+
+func BenchmarkRK23CircuitSecond(b *testing.B) {
+	// One simulated second of the supply node under a static load.
+	arr := pv.SouthamptonArray()
+	rhs := func(_ float64, y, dydt []float64) {
+		i, _ := arr.CurrentAt(y[0], 900)
+		dydt[0] = (i - 2.5/y[0]) / 47e-3
+	}
+	for i := 0; i < b.N; i++ {
+		y := []float64{5.3}
+		if _, err := ode.RK23(rhs, 0, 1, y, ode.Options{MaxStep: 0.25}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimClosedLoopSecond(b *testing.B) {
+	// One simulated second of the full closed loop (PV + monitor +
+	// controller + platform), amortised: each iteration runs a fresh
+	// 1-second scenario.
+	for i := 0; i < b.N; i++ {
+		plat := soc.NewDefaultPlatform()
+		plat.Reset(0, soc.MinOPP())
+		ctrl, err := core.New(core.DefaultParams(), 5.3, soc.MinOPP(), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, err = sim.Run(sim.Config{
+			Array: pv.SouthamptonArray(), Profile: pv.Constant(1000),
+			Capacitance: 47e-3, InitialVC: 5.3, Platform: plat,
+			Controller: ctrl, Duration: 1, SkipSeries: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRaytraceScanline(b *testing.B) {
+	// The paper's benchmark application: smallpt at 5 samples/pixel
+	// (one 64-pixel scanline per iteration).
+	sc := workload.CornellScene()
+	for i := 0; i < b.N; i++ {
+		_, err := sc.Render(workload.RenderOptions{
+			Width: 64, Height: 1, SamplesPerPixel: 5, Seed: int64(i), Workers: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

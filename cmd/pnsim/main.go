@@ -1,0 +1,80 @@
+// Command pnsim regenerates the paper's evaluation artefacts. Each
+// experiment id corresponds to a table or figure of "Power Neutral
+// Performance Scaling for Energy Harvesting MP-SoCs" (DATE 2017); see
+// DESIGN.md for the index.
+//
+// Usage:
+//
+//	pnsim [-seed N] [-csv dir] <experiment>...
+//	pnsim -all
+//	pnsim -list
+//
+// With -csv, every series the experiment records is written as
+// <dir>/<experiment>.csv for external plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pnps/internal/experiments"
+	"pnps/internal/trace"
+)
+
+func main() {
+	var (
+		seed   = flag.Int64("seed", experiments.DefaultSeed, "random seed for stochastic scenarios")
+		csvDir = flag.String("csv", "", "directory to write per-experiment CSV series into")
+		all    = flag.Bool("all", false, "run every registered experiment")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	ids := flag.Args()
+	if *all {
+		ids = experiments.IDs()
+	}
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "pnsim: no experiments given; try -list or -all")
+		os.Exit(2)
+	}
+	for _, id := range ids {
+		rep, err := experiments.Run(id, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pnsim: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(rep.String())
+		if *csvDir != "" && len(rep.Series) > 0 {
+			if err := writeCSV(*csvDir, id, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "pnsim: csv %s: %v\n", id, err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func writeCSV(dir, id string, rep *experiments.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, id+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.WriteCSV(f, rep.Series...); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return f.Close()
+}

@@ -1,0 +1,74 @@
+// Command pnsweep runs the paper's Section III parameter-selection study:
+// a grid search over the controller parameters (Vwidth, Vq, alpha, beta)
+// scored by supply stability under shadowing stress.
+//
+// Usage:
+//
+//	pnsweep [-seed N] [-duration S] [-vwidth list] [-vq list] [-alpha list] [-beta list]
+//
+// Lists are comma-separated values in volts / volts-per-second.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pnps/internal/experiments"
+)
+
+func parseList(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad list element %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", experiments.DefaultSeed, "scenario seed")
+		duration = flag.Float64("duration", 240, "per-point scenario duration, seconds")
+		vwidth   = flag.String("vwidth", "", "comma-separated Vwidth grid, volts")
+		vq       = flag.String("vq", "", "comma-separated Vq grid, volts")
+		alpha    = flag.String("alpha", "", "comma-separated alpha grid, V/s")
+		beta     = flag.String("beta", "", "comma-separated beta grid, V/s")
+	)
+	flag.Parse()
+
+	opts := experiments.SweepOptions{Seed: *seed, Duration: *duration}
+	var err error
+	if opts.VWidths, err = parseList(*vwidth); err != nil {
+		fatal(err)
+	}
+	if opts.VQs, err = parseList(*vq); err != nil {
+		fatal(err)
+	}
+	if opts.Alphas, err = parseList(*alpha); err != nil {
+		fatal(err)
+	}
+	if opts.Betas, err = parseList(*beta); err != nil {
+		fatal(err)
+	}
+
+	rep, err := experiments.ParamSweep(opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(rep.String())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pnsweep:", err)
+	os.Exit(1)
+}

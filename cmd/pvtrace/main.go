@@ -1,0 +1,91 @@
+// Command pvtrace generates photovoltaic traces: irradiance profiles, the
+// array's IV/PV curves, and day-long harvest power traces (the paper's
+// Fig. 1 data), exported as CSV for external tooling.
+//
+// Usage:
+//
+//	pvtrace -mode day   [-seed N] [-weather full|partial|overcast|hail] [-step S]
+//	pvtrace -mode iv    [-irradiance G]
+//	pvtrace -mode mpp
+//
+// Output is CSV on stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pnps/internal/pv"
+	"pnps/internal/trace"
+)
+
+func main() {
+	var (
+		mode       = flag.String("mode", "day", "day | iv | mpp")
+		seed       = flag.Int64("seed", 1, "cloud-process seed")
+		weather    = flag.String("weather", "partial", "full | partial | overcast | hail")
+		step       = flag.Float64("step", 30, "day-trace sampling period, seconds")
+		irradiance = flag.Float64("irradiance", pv.StandardIrradiance, "irradiance for -mode iv, W/m²")
+	)
+	flag.Parse()
+
+	arr := pv.SouthamptonArray()
+	switch *mode {
+	case "day":
+		span := 24 * 3600.0
+		var params pv.CloudParams
+		switch *weather {
+		case "full":
+			params = pv.FullSun()
+		case "partial":
+			params = pv.PartialSun(span)
+		case "overcast":
+			params = pv.Overcast(span)
+		case "hail":
+			params = pv.Hailstorm(span)
+		default:
+			fatal(fmt.Errorf("unknown weather %q", *weather))
+		}
+		profile := pv.NewClouds(pv.StandardDay(), params, *seed)
+		g := trace.NewSeries("irradiance", "W/m2")
+		p := trace.NewSeries("Pavailable", "W")
+		for t := 0.0; t <= span; t += *step {
+			gg := profile.Irradiance(t)
+			g.Append(t, gg)
+			pp, err := arr.AvailablePower(gg)
+			if err != nil {
+				fatal(err)
+			}
+			p.Append(t, pp)
+		}
+		if err := trace.WriteCSV(os.Stdout, g, p); err != nil {
+			fatal(err)
+		}
+	case "iv":
+		pts, err := arr.IVCurve(*irradiance, 101)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("V,I,P")
+		for _, pt := range pts {
+			fmt.Printf("%.4f,%.4f,%.4f\n", pt.V, pt.I, pt.P)
+		}
+	case "mpp":
+		fmt.Println("irradiance,Vmpp,Impp,Pmpp")
+		for g := 100.0; g <= 1000; g += 100 {
+			m, err := arr.MaximumPowerPoint(g)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%.0f,%.4f,%.4f,%.4f\n", g, m.V, m.I, m.P)
+		}
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pvtrace:", err)
+	os.Exit(1)
+}

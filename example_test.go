@@ -1,0 +1,70 @@
+package pnps_test
+
+import (
+	"fmt"
+
+	"pnps"
+)
+
+// ExampleSimulate runs the power-neutral system for thirty simulated
+// seconds of full sun and reports whether it stayed alive.
+func ExampleSimulate() {
+	platform := pnps.NewPlatform()
+	platform.Reset(0, pnps.MinOPP())
+	controller, err := pnps.NewController(pnps.DefaultControllerParams(), 5.3, pnps.MinOPP(), 0)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	result, err := pnps.Simulate(pnps.SimConfig{
+		Array:       pnps.NewPVArray(),
+		Profile:     pnps.ConstantIrradiance(1000),
+		Capacitance: 47e-3,
+		InitialVC:   5.3,
+		Platform:    platform,
+		Controller:  controller,
+		Duration:    30,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("survived:", !result.BrownedOut)
+	fmt.Println("did work:", result.Instructions > 0)
+	// Output:
+	// survived: true
+	// did work: true
+}
+
+// ExampleNewPVArray inspects the calibrated array's maximum power point —
+// the paper's 5.3 V target voltage.
+func ExampleNewPVArray() {
+	arr := pnps.NewPVArray()
+	mpp, err := arr.MaximumPowerPoint(1000)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("MPP voltage: %.1f V\n", mpp.V)
+	fmt.Printf("MPP power above 5 W: %v\n", mpp.P > 5)
+	// Output:
+	// MPP voltage: 5.3 V
+	// MPP power above 5 W: true
+}
+
+// ExampleLinuxGovernor shows the baseline governors available for
+// comparison runs.
+func ExampleLinuxGovernor() {
+	for _, name := range []string{"performance", "powersave", "conservative"} {
+		g, err := pnps.LinuxGovernor(name)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Println(g.Name())
+	}
+	// Output:
+	// performance
+	// powersave
+	// conservative
+}

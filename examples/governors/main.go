@@ -1,0 +1,77 @@
+// Governors: the paper's Table II experiment as an example — race the
+// power-neutral controller against every default Linux cpufreq governor
+// on the same harvested supply and see who survives the hour.
+//
+//	go run ./examples/governors
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pnps"
+	"pnps/internal/pv"
+	"pnps/internal/soc"
+)
+
+func main() {
+	const (
+		duration = 3600.0
+		startV   = 5.3
+		seed     = 42
+	)
+	// Moderate sun with light haze — deep shadows would kill even the
+	// minimal OPP, so no scheme could survive.
+	mkProfile := func() pnps.IrradianceProfile {
+		return pv.NewClouds(pv.Constant(640), pv.CloudParams{
+			Span: duration + 60, MeanGap: 300, MeanDuration: 60,
+			MinTransmission: 0.72, MaxTransmission: 0.92, EdgeSeconds: 8,
+		}, seed)
+	}
+
+	fmt.Println("60-minute governor shoot-out on a harvested supply")
+	fmt.Printf("%-16s %-10s %-12s %s\n", "scheme", "lifetime", "instructions", "verdict")
+
+	for _, name := range []string{"performance", "ondemand", "interactive", "conservative", "powersave"} {
+		gov, err := pnps.LinuxGovernor(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plat := pnps.NewPlatform()
+		plat.Reset(0, pnps.OPP{FreqIdx: 0, Config: soc.CoreConfig{Little: 4, Big: 4}})
+		res, err := pnps.Simulate(pnps.SimConfig{
+			Array: pnps.NewPVArray(), Profile: mkProfile(),
+			Capacitance: 47e-3, InitialVC: startV,
+			Platform: plat, Governor: gov, Duration: duration,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		print1(name, res)
+	}
+
+	plat := pnps.NewPlatform()
+	plat.Reset(0, pnps.MinOPP())
+	ctrl, err := pnps.NewController(pnps.DefaultControllerParams(), startV, pnps.MinOPP(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := pnps.Simulate(pnps.SimConfig{
+		Array: pnps.NewPVArray(), Profile: mkProfile(),
+		Capacitance: 47e-3, InitialVC: startV,
+		Platform: plat, Controller: ctrl, Duration: duration,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	print1("power-neutral", res)
+}
+
+func print1(name string, r *pnps.SimResult) {
+	verdict := "browned out"
+	if !r.BrownedOut {
+		verdict = "survived"
+	}
+	fmt.Printf("%-16s %7.1fs  %9.1fG   %s\n",
+		name, r.LifetimeSeconds, r.Instructions/1e9, verdict)
+}

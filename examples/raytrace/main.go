@@ -1,0 +1,54 @@
+// Raytrace: run the paper's benchmark application (a smallpt-style path
+// tracer) at several worker counts, mirroring how throughput scales with
+// online cores on the big.LITTLE board (Fig. 7's FPS metric), and write
+// the final frame as a PPM image.
+//
+//	go run ./examples/raytrace
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"pnps/internal/workload"
+)
+
+func main() {
+	scene := workload.CornellScene()
+	opts := workload.RenderOptions{
+		Width: 160, Height: 120, SamplesPerPixel: 2, Seed: 1,
+	}
+
+	fmt.Println("smallpt throughput vs parallelism (the paper's Fig. 7 axis)")
+	fmt.Printf("%-8s %-12s %s\n", "workers", "time", "frames/min")
+	maxW := runtime.GOMAXPROCS(0)
+	var img *workload.Image
+	for workers := 1; workers <= maxW; workers *= 2 {
+		opts.Workers = workers
+		start := time.Now()
+		var err error
+		img, err = scene.Render(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		el := time.Since(start)
+		fmt.Printf("%-8d %-12v %.2f\n", workers, el.Round(time.Millisecond), 60/el.Seconds())
+	}
+
+	const out = "cornell.ppm"
+	f, err := os.Create(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := img.WritePPM(f); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrote %s (mean luminance %.3f)\n", out, img.MeanLuminance())
+}

@@ -1,0 +1,68 @@
+// Solarday: a full 24-hour run of the power-neutral system on a partly
+// cloudy day, with brownout restarts enabled — the system dies after
+// sunset and reboots after sunrise, harvesting whenever the sun allows.
+//
+//	go run ./examples/solarday
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pnps"
+	"pnps/internal/trace"
+)
+
+func main() {
+	const (
+		day    = 24 * 3600.0
+		startV = 5.3
+		seed   = 7
+	)
+	profile := pnps.WithPartialClouds(pnps.SolarDayProfile(), day, seed)
+
+	platform := pnps.NewPlatform()
+	platform.Reset(0, pnps.MinOPP())
+	controller, err := pnps.NewController(pnps.DefaultControllerParams(), startV, pnps.MinOPP(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	result, err := pnps.Simulate(pnps.SimConfig{
+		Array:           pnps.NewPVArray(),
+		Profile:         profile,
+		Capacitance:     47e-3,
+		InitialVC:       startV,
+		Platform:        platform,
+		Controller:      controller,
+		Duration:        day,
+		BrownoutRestart: true, // reboot when the sun returns
+		RestartCooldown: 300,  // supervisor back-off against dawn boot loops
+		MaxStep:         0.5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("24-hour solar day with brownout restart")
+	fmt.Printf("  alive time:           %.1f h of %.0f h\n", result.LifetimeSeconds/3600, day/3600)
+	fmt.Printf("  brownouts:            %d\n", result.Brownouts)
+	fmt.Printf("  restarts:             %d\n", result.Restarts)
+	fmt.Printf("  instructions done:    %.0f billion\n", result.Instructions/1e9)
+	fmt.Printf("  frames rendered:      %.1f\n", result.Frames)
+	fmt.Printf("  threshold interrupts: %d\n", result.Interrupts)
+
+	if eAvail, err := result.PowerAvailable.Integral(); err == nil {
+		if eCons, err := result.PowerConsumed.Integral(); err == nil {
+			fmt.Printf("  energy available:     %.1f Wh\n", eAvail/3600)
+			fmt.Printf("  energy consumed:      %.1f Wh (%.0f%% of available)\n",
+				eCons/3600, eCons/eAvail*100)
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("Supply voltage over the day:")
+	fmt.Print(trace.ASCIIPlot(result.VC.Decimate(64), 72, 12))
+	fmt.Println("Consumed power over the day:")
+	fmt.Print(trace.ASCIIPlot(result.PowerConsumed.Decimate(64), 72, 10))
+}

@@ -1,0 +1,395 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The fast experiments run in every test invocation; the 6-hour scenario
+// family and the sweep are skipped with -short.
+
+func TestFig1(t *testing.T) {
+	r, err := Fig1(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := metricByName(t, r, "peak power output")
+	if m.Value < 0.6 || m.Value > 1.5 {
+		t.Errorf("peak power %.2f W, want ≈1 W", m.Value)
+	}
+	if v := metricByName(t, r, "micro-variability residual (std dev)").Value; v <= 0 {
+		t.Error("no micro variability in the trace")
+	}
+	if len(r.Series) == 0 || r.Series[0].Len() < 1000 {
+		t.Error("day trace under-sampled")
+	}
+}
+
+func TestFig3(t *testing.T) {
+	r, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	staticLife := metricByName(t, r, "static lifetime").Value
+	ctrlLife := metricByName(t, r, "power-neutral lifetime").Value
+	if ctrlLife <= staticLife*2 {
+		t.Errorf("lifetime extension too small: %.1f s vs %.1f s", ctrlLife, staticLife)
+	}
+	if metricByName(t, r, "power-neutral browned out").Value != 0 {
+		t.Error("power-neutral run browned out")
+	}
+	if metricByName(t, r, "static browned out").Value != 1 {
+		t.Error("static run survived — scenario too easy")
+	}
+}
+
+func TestFig4(t *testing.T) {
+	r, err := Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	min := metricByName(t, r, "min config/frequency power").Value
+	max := metricByName(t, r, "max config/frequency power").Value
+	if min < 1.5 || min > 2.1 {
+		t.Errorf("min power %.2f W off the paper's ≈1.8 W", min)
+	}
+	if max < 6.2 || max > 7.8 {
+		t.Errorf("max power %.2f W off the paper's ≈7 W", max)
+	}
+	if len(r.Tables) != 1 || len(r.Tables[0].Rows) != 8 {
+		t.Error("power table shape wrong")
+	}
+}
+
+func TestFig6(t *testing.T) {
+	r, err := Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metricByName(t, r, "controlled survived").Value != 1 {
+		t.Error("controlled system browned out in the Fig. 6 scenario")
+	}
+	if metricByName(t, r, "uncontrolled survived").Value != 0 {
+		t.Error("uncontrolled system survived — shadow too shallow")
+	}
+	if v := metricByName(t, r, "min Vc with control").Value; v < 4.1 {
+		t.Errorf("controlled min Vc %.2f below Vmin", v)
+	}
+}
+
+func TestFig7(t *testing.T) {
+	r, err := Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxFPS := metricByName(t, r, "max FPS (8 cores @1.4 GHz)").Value
+	littleFPS := metricByName(t, r, "max FPS (4xA7 only)").Value
+	if maxFPS <= littleFPS*2 {
+		t.Errorf("full chip %.3f FPS should be well above LITTLE-only %.3f", maxFPS, littleFPS)
+	}
+	effL := metricByName(t, r, "LITTLE-only efficiency at 4xA7 @1.4 GHz").Value
+	effM := metricByName(t, r, "full-chip efficiency at max OPP").Value
+	if effL <= effM {
+		t.Errorf("LITTLE-only FPS/W %.4f should beat full chip %.4f", effL, effM)
+	}
+}
+
+func TestFig10(t *testing.T) {
+	r, err := Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := metricByName(t, r, "fastest hot-plug").Value
+	slow := metricByName(t, r, "slowest hot-plug").Value
+	if fast >= slow {
+		t.Error("hot-plug latency ordering broken")
+	}
+	if slow < 20 || slow > 60 {
+		t.Errorf("slowest hot-plug %.1f ms off the paper's ≈40 ms", slow)
+	}
+	if len(r.Tables) != 2 {
+		t.Error("expected hot-plug + DVFS tables")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	r, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta := metricByName(t, r, "(a) transition time").Value
+	tb := metricByName(t, r, "(b) transition time").Value
+	if tb >= ta/2 {
+		t.Errorf("(b) %.0f ms should be far below (a) %.0f ms", tb, ta)
+	}
+	if fit := metricByName(t, r, "(b) fits 47 mF buffer").Value; fit != 1 {
+		t.Error("selected order does not fit the paper's 47 mF capacitor")
+	}
+	ratio := metricByName(t, r, "(a)/(b) charge ratio").Value
+	if ratio < 1.5 || ratio > 4.5 {
+		t.Errorf("charge ratio %.2f outside the paper's ≈2.8 band", ratio)
+	}
+}
+
+func TestFig11(t *testing.T) {
+	r, err := Fig11(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metricByName(t, r, "survived full test").Value != 1 {
+		t.Error("bench-supply run browned out")
+	}
+	ratio := metricByName(t, r, "DVFS:hot-plug ratio").Value
+	if ratio < 2 {
+		t.Errorf("DVFS:hot-plug ratio %.1f — paper wants core scaling rare", ratio)
+	}
+}
+
+func TestFig12Family(t *testing.T) {
+	if testing.Short() {
+		t.Skip("6-hour scenario: skipped with -short")
+	}
+	r12, err := Fig12(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within5 := metricByName(t, r12, "time within ±5% of target").Value
+	if within5 < 60 {
+		t.Errorf("stability %.1f%%, want the paper's >90%% order", within5)
+	}
+	if metricByName(t, r12, "brownouts").Value != 0 {
+		t.Error("brownouts during the full-sun run")
+	}
+
+	r13, err := Fig13(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := metricByName(t, r13, "|modal − MPP voltage|").Value; d > 0.5 {
+		t.Errorf("modal operating voltage %.2f V away from MPP — MPPT behaviour lost", d)
+	}
+
+	r14, err := Fig14(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	util := metricByName(t, r14, "utilisation of harvest (energy)").Value
+	if util < 55 || util > 103 {
+		t.Errorf("harvest utilisation %.1f%% implausible", util)
+	}
+
+	r15, err := Fig15(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov := metricByName(t, r15, "controller CPU overhead").Value
+	if ov <= 0 || ov > 1 {
+		t.Errorf("controller overhead %.3f%% outside the paper's sub-percent order", ov)
+	}
+	if mp := metricByName(t, r15, "monitor hardware power").Value; mp < 1.4 || mp > 1.8 {
+		t.Errorf("monitor power %.2f mW, want 1.61", mp)
+	}
+}
+
+func TestTable2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hour-long comparison: skipped with -short")
+	}
+	r, err := Table2(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metricByName(t, r, "proposed lifetime").Value < 3599 {
+		t.Error("proposed approach did not survive the hour")
+	}
+	if metricByName(t, r, "powersave lifetime").Value < 3599 {
+		t.Error("powersave did not survive the hour")
+	}
+	gain := metricByName(t, r, "instruction gain vs powersave").Value
+	if gain < 30 {
+		t.Errorf("instruction gain %.0f%%, paper reports +69%%", gain)
+	}
+	if metricByName(t, r, "conservative lifetime").Value > 30 {
+		t.Error("conservative governor survived implausibly long")
+	}
+}
+
+func TestSweepShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid search: skipped with -short")
+	}
+	// A reduced grid keeps the runtime bounded while still exercising
+	// the search machinery.
+	pts, err := RunSweep(SweepOptions{
+		VWidths:  []float64{0.144, 0.28},
+		VQs:      []float64{0.0479, 0.08},
+		Alphas:   []float64{0.12},
+		Betas:    []float64{0.479},
+		Duration: 120,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("%d grid points, want 4", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i-1].Survived == pts[i].Survived && pts[i-1].Stability < pts[i].Stability {
+			t.Error("sweep results not sorted by stability")
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations: skipped with -short")
+	}
+	rs, err := AblationSemantics(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Tables[0].Rows) != 2 {
+		t.Error("semantics ablation row count")
+	}
+	ro, err := AblationOrder(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ro.Tables[0].Rows) != 2 {
+		t.Error("order ablation row count")
+	}
+}
+
+func TestMPPTComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reuses the 6-hour scenario: skipped with -short")
+	}
+	r, err := MPPTComparison(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	po := metricByName(t, r, "P&O efficiency (full sun)").Value
+	implicit := metricByName(t, r, "implicit power-neutral efficiency").Value
+	if po < 95 {
+		t.Errorf("P&O efficiency %.1f%%, want near-ideal", po)
+	}
+	if implicit < 85 {
+		t.Errorf("implicit efficiency %.1f%%, claim needs >85%%", implicit)
+	}
+	if implicit > po+2 {
+		t.Errorf("implicit (%.1f%%) should not beat a dedicated tracker (%.1f%%)", implicit, po)
+	}
+}
+
+func TestPredictiveComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four scenario runs: skipped with -short")
+	}
+	r, err := PredictiveComparison(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metricByName(t, r, "predictive survives steady sun").Value != 1 {
+		t.Error("predictive scheme should work under steady conditions")
+	}
+	if metricByName(t, r, "predictive survives shadowing").Value != 0 {
+		t.Error("predictive scheme survived shadowing — paper's criticism not reproduced")
+	}
+	if metricByName(t, r, "power-neutral survives shadowing").Value != 1 {
+		t.Error("power-neutral died under shadowing")
+	}
+}
+
+func TestBufferComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bisection over simulations: skipped with -short")
+	}
+	r, err := BufferComparison(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en := metricByName(t, r, "energy-neutral supercap").Value
+	pn := metricByName(t, r, "power-neutral min capacitance").Value // mF
+	st := metricByName(t, r, "static min capacitance").Value        // F
+	if en < 100 {
+		t.Errorf("energy-neutral sizing %.0f F implausibly small", en)
+	}
+	if pn >= 47 {
+		t.Errorf("power-neutral min capacitance %.1f mF exceeds the paper's 47 mF", pn)
+	}
+	if st < 10*pn/1e3 {
+		t.Errorf("static (%.2f F) should need far more than power-neutral (%.1f mF)", st, pn)
+	}
+	if metricByName(t, r, "fits paper's 47 mF").Value != 1 {
+		t.Error("power-neutral does not fit the deployed capacitor")
+	}
+}
+
+func TestRegistryCoversEveryPaperArtefact(t *testing.T) {
+	ids := IDs()
+	want := []string{"fig1", "fig3", "fig4", "fig6", "fig7", "fig10", "fig11",
+		"fig12", "fig13", "fig14", "fig15", "table1", "table2", "sweep",
+		"ablation-semantics", "ablation-order", "mppt", "predictive", "buffers"}
+	have := map[string]bool{}
+	for _, id := range ids {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+	if _, err := Run("nonsense", 1); err == nil {
+		t.Error("unknown experiment id accepted")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{ID: "x", Title: "T", Description: "D"}
+	r.AddPaperMetric("m", 1.5, 2.0, "W", "note")
+	r.Tables = append(r.Tables, Table{
+		Title:  "tab",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}},
+	})
+	out := r.String()
+	for _, frag := range []string{"== x — T ==", "paper: 2", "note", "tab", "a", "1"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("rendered report missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestFmtHelpers(t *testing.T) {
+	if fmtSeconds(65) != "01:05" {
+		t.Errorf("fmtSeconds(65) = %q", fmtSeconds(65))
+	}
+	if fmtSeconds(-3) != "00:00" {
+		t.Error("negative seconds should clamp")
+	}
+	if fmtSeconds(3600) != "60:00" {
+		t.Errorf("fmtSeconds(3600) = %q", fmtSeconds(3600))
+	}
+	if fmtGiga(2.5e9) != "2.5" {
+		t.Errorf("fmtGiga = %q", fmtGiga(2.5e9))
+	}
+}
+
+func metricByName(t *testing.T, r *Report, name string) Metric {
+	t.Helper()
+	for _, m := range r.Metrics {
+		if m.Name == name {
+			return m
+		}
+	}
+	t.Fatalf("metric %q not found in %s; have %v", name, r.ID, metricNames(r))
+	return Metric{}
+}
+
+func metricNames(r *Report) []string {
+	out := make([]string, len(r.Metrics))
+	for i, m := range r.Metrics {
+		out[i] = m.Name
+	}
+	return out
+}

@@ -1,0 +1,287 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pnps/internal/buffer"
+	"pnps/internal/core"
+	"pnps/internal/mppt"
+	"pnps/internal/predict"
+	"pnps/internal/pv"
+	"pnps/internal/sim"
+	"pnps/internal/soc"
+)
+
+// MPPTComparison quantifies the paper's claim that power-neutral voltage
+// stabilisation displaces dedicated MPPT hardware: it measures the
+// tracking efficiency of conventional Perturb & Observe and Incremental
+// Conductance front-ends on the same array and compares them with the
+// implicit efficiency the power-neutral loop achieved in the Fig. 14 run
+// (energy consumed / energy available).
+func MPPTComparison(seed int64) (*Report, error) {
+	arr := pv.SouthamptonArray()
+	po, err := mppt.NewPerturbObserve(0.05, 1.0, 6.5)
+	if err != nil {
+		return nil, err
+	}
+	ic, err := mppt.NewIncCond(0.05, 1.0, 6.5)
+	if err != nil {
+		return nil, err
+	}
+
+	tab := Table{
+		Title:  "MPP tracking efficiency at steady irradiance (500 steps from 4.0 V)",
+		Header: []string{"tracker", "G=400 W/m²", "G=1000 W/m²", "final V @1000"},
+	}
+	results := map[string]float64{}
+	for _, tr := range []mppt.Tracker{po, ic} {
+		r400, err := mppt.Track(tr, arr, 400, 4.0, 500)
+		if err != nil {
+			return nil, err
+		}
+		r1000, err := mppt.Track(tr, arr, 1000, 4.0, 500)
+		if err != nil {
+			return nil, err
+		}
+		tab.Rows = append(tab.Rows, []string{
+			tr.Name(),
+			fmt.Sprintf("%.1f%%", r400.Efficiency*100),
+			fmt.Sprintf("%.1f%%", r1000.Efficiency*100),
+			fmt.Sprintf("%.2f V", r1000.FinalV),
+		})
+		results[tr.Name()] = r1000.Efficiency
+	}
+
+	// Implicit tracking efficiency of the power-neutral loop (Fig. 14).
+	res, _, err := fig12Run(seed)
+	if err != nil {
+		return nil, err
+	}
+	eAvail, err := res.PowerAvailable.Integral()
+	if err != nil {
+		return nil, err
+	}
+	eCons, err := res.PowerConsumed.Integral()
+	if err != nil {
+		return nil, err
+	}
+	implicit := eCons / eAvail
+	tab.Rows = append(tab.Rows, []string{
+		"power-neutral (implicit)", "—", fmt.Sprintf("%.1f%%", implicit*100), "tracks knee",
+	})
+
+	r := &Report{
+		ID:    "mppt",
+		Title: "Implicit vs explicit maximum-power-point tracking",
+		Description: "The power-neutral loop's harvest utilisation should approach the " +
+			"efficiency of dedicated P&O / IncCond trackers, with zero extra hardware.",
+		Tables: []Table{tab},
+	}
+	r.AddMetric("P&O efficiency (full sun)", results["perturb-observe"]*100, "%", "")
+	r.AddMetric("IncCond efficiency (full sun)", results["incremental-conductance"]*100, "%", "")
+	r.AddMetric("implicit power-neutral efficiency", implicit*100, "%",
+		"paper Section V-B: 'negates the need for additional sizeable MPPT hardware'")
+	return r, nil
+}
+
+// PredictiveComparison reproduces the paper's Section I argument against
+// prediction-based schemes (SolarTune et al.): a slot-based
+// prediction-driven governor works under steady conditions but browns out
+// under micro variability that the interrupt-driven power-neutral
+// controller rides through.
+func PredictiveComparison(seed int64) (*Report, error) {
+	const duration = 240.0
+	mpp, err := fullSunMPP()
+	if err != nil {
+		return nil, err
+	}
+
+	type outcome struct {
+		survived bool
+		lifetime float64
+		instr    float64
+	}
+	runPredictive := func(profile pv.Profile) (outcome, error) {
+		pred, err := predict.NewEWMA(0.3, 8)
+		if err != nil {
+			return outcome{}, err
+		}
+		gov, err := predict.NewGovernor(15, 0.9, pred, soc.DefaultPowerModel(), soc.DefaultPerfModel())
+		if err != nil {
+			return outcome{}, err
+		}
+		// SolarTune-class schemes carry a harvest sensor; grant the
+		// baseline an ideal one (instantaneous MPP power of the array).
+		arr := pv.SouthamptonArray()
+		gov.Sense = func(t float64) float64 {
+			p, err := arr.AvailablePower(profile.Irradiance(t))
+			if err != nil {
+				return 0
+			}
+			return p
+		}
+		plat := soc.NewDefaultPlatform()
+		plat.Reset(0, soc.MinOPP())
+		res, err := sim.Run(sim.Config{
+			Array: pv.SouthamptonArray(), Profile: profile,
+			Capacitance: 47e-3, InitialVC: mpp.V, Platform: plat,
+			Governor: gov, Duration: duration, SkipSeries: true,
+		})
+		if err != nil {
+			return outcome{}, err
+		}
+		return outcome{!res.BrownedOut, res.LifetimeSeconds, res.Instructions}, nil
+	}
+	runPN := func(profile pv.Profile) (outcome, error) {
+		res, err := controllerRun(core.DefaultParams(), profile, duration, 47e-3, mpp.V, soc.MinOPP())
+		if err != nil {
+			return outcome{}, err
+		}
+		return outcome{!res.BrownedOut, res.LifetimeSeconds, res.Instructions}, nil
+	}
+
+	steady := pv.Constant(800)
+	shadowed := sweepScenario(seed, duration) // deep micro variability
+
+	predSteady, err := runPredictive(steady)
+	if err != nil {
+		return nil, err
+	}
+	predShadow, err := runPredictive(shadowed)
+	if err != nil {
+		return nil, err
+	}
+	pnSteady, err := runPN(steady)
+	if err != nil {
+		return nil, err
+	}
+	pnShadow, err := runPN(shadowed)
+	if err != nil {
+		return nil, err
+	}
+
+	tab := Table{
+		Title:  "Prediction-driven vs power-neutral under micro variability (240 s)",
+		Header: []string{"scheme", "conditions", "survived", "lifetime (s)", "instructions (G)"},
+		Rows: [][]string{
+			{"predictive (SolarTune-style)", "steady sun", fmt.Sprintf("%v", predSteady.survived),
+				fmt.Sprintf("%.1f", predSteady.lifetime), fmtGiga(predSteady.instr)},
+			{"predictive (SolarTune-style)", "shadowing", fmt.Sprintf("%v", predShadow.survived),
+				fmt.Sprintf("%.1f", predShadow.lifetime), fmtGiga(predShadow.instr)},
+			{"power-neutral (proposed)", "steady sun", fmt.Sprintf("%v", pnSteady.survived),
+				fmt.Sprintf("%.1f", pnSteady.lifetime), fmtGiga(pnSteady.instr)},
+			{"power-neutral (proposed)", "shadowing", fmt.Sprintf("%v", pnShadow.survived),
+				fmt.Sprintf("%.1f", pnShadow.lifetime), fmtGiga(pnShadow.instr)},
+		},
+	}
+
+	r := &Report{
+		ID:    "predictive",
+		Title: "Why prediction is not enough (paper Section I)",
+		Description: "Slot-based harvest prediction cannot anticipate cloud shadowing; the " +
+			"voltage-driven power-neutral controller reacts within one threshold crossing.",
+		Tables: []Table{tab},
+	}
+	r.AddMetric("predictive survives steady sun", b2f(predSteady.survived), "bool", "")
+	r.AddMetric("predictive survives shadowing", b2f(predShadow.survived), "bool",
+		"paper: unsuitable for sources with significant micro variability")
+	r.AddMetric("power-neutral survives shadowing", b2f(pnShadow.survived), "bool", "")
+	r.AddMetric("predictive lifetime under shadowing", predShadow.lifetime, "s", "")
+	return r, nil
+}
+
+// BufferComparison quantifies the paper's headline claim — "power
+// neutrality means that large energy buffers are no longer required" —
+// along two axes: (1) the supercapacitor an energy-neutral design needs
+// to ride through harvest deficits, and (2) the minimum capacitance that
+// keeps the Fig. 6 shadowing scenario alive, searched by bisection, with
+// and without power-neutral control.
+func BufferComparison(seed int64) (*Report, error) {
+	arr := pv.SouthamptonArray()
+
+	// (1) Energy-neutral sizing over a partly cloudy day: the load runs
+	// at the mean harvest power (that is what energy neutrality means).
+	day := pv.NewClouds(pv.StandardDay(), pv.PartialSun(24*3600), seed)
+	const dt = 60.0
+	var harvest []float64
+	var mean float64
+	for t := 0.0; t < 24*3600; t += dt {
+		p, err := arr.AvailablePower(day.Irradiance(t))
+		if err != nil {
+			return nil, err
+		}
+		harvest = append(harvest, p)
+		mean += p
+	}
+	mean /= float64(len(harvest))
+	load := make([]float64, len(harvest))
+	for i := range load {
+		load[i] = mean
+	}
+	enFarads, enDeficit, err := buffer.EnergyNeutralSizing(harvest, load, dt,
+		soc.MaxOperatingVolts, soc.MinOperatingVolts)
+	if err != nil {
+		return nil, err
+	}
+	// Leakage of that bank over a day (typical supercap leakage scale).
+	bank := buffer.Supercap{Farads: enFarads, ESROhms: 0.05, LeakOhms: 5000, VMax: soc.MaxOperatingVolts}
+	leakWh := bank.DailyLeakageEnergy(5.0) / 3600
+
+	// (2) Minimum surviving capacitance for the Fig. 6 shadow, bisected.
+	shadow := pv.Shadow{Base: 1000, Depth: 0.60, Start: 4, Duration: 3, Edge: 0.4}
+	mpp, err := fullSunMPP()
+	if err != nil {
+		return nil, err
+	}
+	surviveControlled := func(farads float64) (bool, error) {
+		res, err := controllerRun(core.DefaultParams(), shadow, 12, farads, mpp.V, soc.MinOPP())
+		if err != nil {
+			return false, err
+		}
+		return !res.BrownedOut, nil
+	}
+	surviveStatic := func(farads float64) (bool, error) {
+		opp := soc.OPP{FreqIdx: 6, Config: soc.CoreConfig{Little: 4, Big: 3}}
+		res, err := staticRun(opp, shadow, 12, farads, mpp.V)
+		if err != nil {
+			return false, err
+		}
+		return !res.BrownedOut, nil
+	}
+	minCtrl, err := buffer.MinCapacitance(surviveControlled, 0.2e-3, 10, 0.05)
+	if err != nil {
+		return nil, err
+	}
+	minStatic, err := buffer.MinCapacitance(surviveStatic, 1e-3, 50, 0.05)
+	if err != nil {
+		return nil, err
+	}
+
+	tab := Table{
+		Title:  "Buffer requirements by approach",
+		Header: []string{"approach", "buffer needed", "notes"},
+		Rows: [][]string{
+			{"energy-neutral (24 h, supercap)", fmt.Sprintf("%.0f F", enFarads),
+				fmt.Sprintf("worst deficit %.0f kJ; leakage ≈%.1f Wh/day", enDeficit/1e3, leakWh)},
+			{"static OPP through Fig. 6 shadow", fmt.Sprintf("%.2f F", minStatic), "bisected survival"},
+			{"power-neutral through Fig. 6 shadow", fmt.Sprintf("%.1f mF", minCtrl*1e3),
+				"bisected survival; paper deploys 47 mF"},
+		},
+	}
+
+	r := &Report{
+		ID:    "buffers",
+		Title: "Energy buffers: energy-neutral vs power-neutral",
+		Description: "Power-neutral scaling replaces farad-scale storage with tens of " +
+			"millifarads of latency buffering.",
+		Tables: []Table{tab},
+	}
+	r.AddMetric("energy-neutral supercap", enFarads, "F", "24 h perpetual operation")
+	r.AddMetric("static min capacitance", minStatic, "F", "")
+	r.AddMetric("power-neutral min capacitance", minCtrl*1e3, "mF", "")
+	if minCtrl > 0 {
+		r.AddMetric("buffer reduction vs static", minStatic/minCtrl, "x", "")
+	}
+	r.AddMetric("fits paper's 47 mF", b2f(minCtrl < 47e-3), "bool", "")
+	return r, nil
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pnps/internal/soc"
+)
+
+// Fig4 regenerates the paper's Fig. 4: board power consumption vs
+// operating frequency for the eight benchmarked core configurations under
+// the CPU-saturating ray-tracing workload.
+func Fig4() (*Report, error) {
+	pm := soc.DefaultPowerModel()
+	if err := pm.Validate(); err != nil {
+		return nil, err
+	}
+	ladder := soc.ConfigLadder()
+	freqs := soc.FrequencyLevels()
+
+	tab := Table{
+		Title:  "Board power (W) vs frequency for each core configuration",
+		Header: []string{"f (GHz)"},
+	}
+	for _, cfg := range ladder {
+		tab.Header = append(tab.Header, cfg.String())
+	}
+	for fi, f := range freqs {
+		row := []string{fmt.Sprintf("%.2f", f/1e9)}
+		for _, cfg := range ladder {
+			p := pm.PowerAtFullLoad(soc.OPP{FreqIdx: fi, Config: cfg})
+			row = append(row, fmt.Sprintf("%.2f", p))
+		}
+		tab.Rows = append(tab.Rows, row)
+	}
+
+	r := &Report{
+		ID:          "fig4",
+		Title:       "Power consumption vs operating frequency (Exynos5422 model)",
+		Description: "Calibrated power surface; the paper measured ≈1.8 W (1×A7 @0.2 GHz) to ≈7 W (8 cores @1.4 GHz).",
+		Tables:      []Table{tab},
+	}
+	r.AddPaperMetric("min config/frequency power",
+		pm.PowerAtFullLoad(soc.MinOPP()), 1.8, "W", "1xA7 @ 0.2 GHz")
+	r.AddPaperMetric("max config/frequency power",
+		pm.PowerAtFullLoad(soc.MaxOPP()), 7.0, "W", "4xA7+4xA15 @ 1.4 GHz")
+	return r, nil
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pnps/internal/soc"
+)
+
+// Fig7 regenerates the paper's Fig. 7: ray-tracing performance (frames per
+// second at 5 samples/pixel) versus board power consumption for the
+// benchmarked operating points.
+func Fig7() (*Report, error) {
+	pm := soc.DefaultPowerModel()
+	pf := soc.DefaultPerfModel()
+
+	tab := Table{
+		Title:  "Raytrace FPS (power W) per configuration and frequency",
+		Header: []string{"f (GHz)"},
+	}
+	ladder := soc.ConfigLadder()
+	for _, cfg := range ladder {
+		tab.Header = append(tab.Header, cfg.String())
+	}
+	for fi, f := range soc.FrequencyLevels() {
+		row := []string{fmt.Sprintf("%.2f", f/1e9)}
+		for _, cfg := range ladder {
+			o := soc.OPP{FreqIdx: fi, Config: cfg}
+			row = append(row, fmt.Sprintf("%.4f (%.2fW)", pf.FramesPerSecond(o), pm.PowerAtFullLoad(o)))
+		}
+		tab.Rows = append(tab.Rows, row)
+	}
+
+	maxOPP := soc.MaxOPP()
+	littleMax := soc.OPP{FreqIdx: soc.NumFrequencyLevels - 1, Config: soc.CoreConfig{Little: 4}}
+
+	r := &Report{
+		ID:          "fig7",
+		Title:       "Performance vs power across operating points",
+		Description: "Calibrated performance surface for the smallpt workload.",
+		Tables:      []Table{tab},
+	}
+	r.AddPaperMetric("max FPS (8 cores @1.4 GHz)", pf.FramesPerSecond(maxOPP), 0.25, "FPS",
+		"paper Fig. 7 right panel peak")
+	r.AddPaperMetric("max FPS (4xA7 only)", pf.FramesPerSecond(littleMax), 0.065, "FPS",
+		"paper Fig. 7 left panel peak")
+	r.AddMetric("LITTLE-only efficiency at 4xA7 @1.4 GHz",
+		pf.FramesPerSecond(littleMax)/pm.PowerAtFullLoad(littleMax), "FPS/W", "")
+	r.AddMetric("full-chip efficiency at max OPP",
+		pf.FramesPerSecond(maxOPP)/pm.PowerAtFullLoad(maxOPP), "FPS/W",
+		"LITTLE-only should win on FPS/W")
+	return r, nil
+}

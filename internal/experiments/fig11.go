@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"pnps/internal/core"
+	"pnps/internal/sim"
+	"pnps/internal/soc"
+	"pnps/internal/trace"
+)
+
+// Fig11 regenerates the paper's Fig. 11: system response to a controlled
+// variable voltage supply (a bench PSU, not the PV array), with
+// deliberately large Vq and Vwidth for clarity of illustration. The
+// figure's qualitative claims: minor fluctuations (point 'A') are handled
+// by DVFS alone, while the sudden reduction at point 'B' also disables
+// big and LITTLE cores — so core scaling is applied less often than
+// frequency scaling.
+func Fig11(seed int64) (*Report, error) {
+	_ = seed // the supply sequence is deterministic; kept for API symmetry
+
+	// Piecewise-linear setpoint sequence mimicking the paper's manual
+	// supply drive over ~140 s: gentle ramps (A-type events) and one
+	// sudden reduction (B).
+	src, err := sim.NewVoltageSource(0.3,
+		sim.VPoint{T: 0, V: 5.0},
+		sim.VPoint{T: 10, V: 5.0},
+		sim.VPoint{T: 20, V: 5.35}, // slow rise
+		sim.VPoint{T: 30, V: 5.15}, // minor fluctuation (A)
+		sim.VPoint{T: 38, V: 5.3},  // minor fluctuation (A)
+		sim.VPoint{T: 48, V: 5.3},
+		sim.VPoint{T: 60, V: 5.55}, // slow rise
+		sim.VPoint{T: 70, V: 5.55},
+		sim.VPoint{T: 71.5, V: 4.55}, // sudden reduction (B)
+		sim.VPoint{T: 90, V: 4.55},
+		sim.VPoint{T: 105, V: 5.1}, // recovery ramp
+		sim.VPoint{T: 120, V: 5.5},
+		sim.VPoint{T: 140, V: 5.45},
+	)
+	if err != nil {
+		return nil, err
+	}
+
+	boot := soc.OPP{FreqIdx: 3, Config: soc.CoreConfig{Little: 4, Big: 1}}
+	plat := soc.NewDefaultPlatform()
+	plat.Reset(0, boot)
+	ctrl, err := core.New(core.Fig11Params(), 5.0, boot, 0)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(sim.Config{
+		Source:      src,
+		Capacitance: 47e-3,
+		InitialVC:   5.0,
+		Platform:    plat,
+		Controller:  ctrl,
+		Duration:    140,
+		TargetVolts: 5.3,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	st := res.ControllerStats
+	coreToggles := st.BigToggles + st.LittleToggles
+
+	r := &Report{
+		ID:    "fig11",
+		Title: "Response to a controlled variable supply",
+		Description: "Bench-supply setpoint sequence with minor fluctuations (A) and one " +
+			"sudden drop (B). DVFS should fire far more often than core hot-plugging.",
+		Series: []*trace.Series{res.VC, res.FreqGHz, res.LittleCores, res.BigCores, res.TotalCores},
+	}
+	r.AddMetric("threshold interrupts", float64(res.Interrupts), "", "")
+	r.AddMetric("DVFS steps", float64(st.FreqSteps), "", "")
+	r.AddMetric("core toggles (big+LITTLE)", float64(coreToggles), "", "")
+	if coreToggles > 0 {
+		r.AddMetric("DVFS:hot-plug ratio", float64(st.FreqSteps)/float64(coreToggles), "x",
+			"paper: core scaling applied less often than frequency scaling")
+	}
+	r.AddMetric("survived full test", b2f(!res.BrownedOut), "bool", "")
+	r.Plots = append(r.Plots,
+		trace.ASCIIPlot(res.VC, 72, 10),
+		trace.ASCIIPlot(res.FreqGHz, 72, 8),
+		trace.ASCIIPlot(res.TotalCores, 72, 8))
+	return r, nil
+}

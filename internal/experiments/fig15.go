@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"pnps/internal/monitor"
+	"pnps/internal/soc"
+)
+
+// Fig15 regenerates the paper's Fig. 15 and Section V-D: the overheads of
+// the proposed approach — the CPU time consumed by the interrupt-driven
+// power-budgeting software (paper: 0.104% mean) and the power drawn by the
+// external voltage-monitoring hardware (paper: 1.61 mW, under 0.82% of the
+// minimum system power and 0.01%-order of the maximum).
+func Fig15(seed int64) (*Report, error) {
+	res, _, err := fig12Run(seed)
+	if err != nil {
+		return nil, err
+	}
+
+	pm := soc.DefaultPowerModel()
+	mc := monitor.DefaultConfig()
+	monPower := 2 * mc.PowerWatts
+
+	r := &Report{
+		ID:    "fig15",
+		Title: "Overheads of the proposed approach",
+		Description: "Interrupt-driven control: CPU usage of the power-budgeting software " +
+			"and static power of the threshold-monitoring circuit.",
+	}
+	r.AddPaperMetric("controller CPU overhead", res.CPUOverhead*100, 0.104, "%",
+		"ISR + SPI reprogramming time over the 6 h run")
+	r.AddPaperMetric("monitor hardware power", monPower*1e3, 1.61, "mW", "two channels")
+	r.AddPaperMetric("monitor power / min system power", monPower/pm.MinPower()*100, 0.82, "%", "")
+	r.AddMetric("monitor power / max system power", monPower/pm.MaxPower()*100, "%",
+		"paper: 0.01%-order")
+	r.AddMetric("threshold interrupts over run", float64(res.Interrupts), "", "")
+	r.AddMetric("interrupts per minute", float64(res.Interrupts)/(fig12Duration/60), "", "")
+	return r, nil
+}

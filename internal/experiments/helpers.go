@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pnps/internal/core"
+	"pnps/internal/pv"
+	"pnps/internal/sim"
+	"pnps/internal/soc"
+)
+
+// DefaultSeed keeps every stochastic experiment reproducible.
+const DefaultSeed int64 = 20170327 // DATE 2017, Lausanne
+
+// fullSunMPP returns the calibrated MPP of the experiment array at
+// standard irradiance — the paper's 5.3 V target voltage.
+func fullSunMPP() (pv.MPP, error) {
+	return pv.SouthamptonArray().MaximumPowerPoint(pv.StandardIrradiance)
+}
+
+// controllerRun assembles and executes a power-neutral run with the given
+// parameters.
+func controllerRun(params core.Params, profile pv.Profile, duration, capacitance, initialVC float64, boot soc.OPP) (*sim.Result, error) {
+	plat := soc.NewDefaultPlatform()
+	plat.Reset(0, boot)
+	ctrl, err := core.New(params, initialVC, boot, 0)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(sim.Config{
+		Array:       pv.SouthamptonArray(),
+		Profile:     profile,
+		Capacitance: capacitance,
+		InitialVC:   initialVC,
+		Platform:    plat,
+		Controller:  ctrl,
+		Duration:    duration,
+	})
+}
+
+// staticRun executes an uncontrolled run at a fixed OPP (the paper's
+// "without control" baselines).
+func staticRun(opp soc.OPP, profile pv.Profile, duration, capacitance, initialVC float64) (*sim.Result, error) {
+	plat := soc.NewDefaultPlatform()
+	plat.Reset(0, opp)
+	return sim.Run(sim.Config{
+		Array:       pv.SouthamptonArray(),
+		Profile:     profile,
+		Capacitance: capacitance,
+		InitialVC:   initialVC,
+		Platform:    plat,
+		Duration:    duration,
+	})
+}
+
+// fmtSeconds renders seconds as the paper's mm:ss lifetime format.
+func fmtSeconds(s float64) string {
+	if s < 0 {
+		s = 0
+	}
+	m := int(s) / 60
+	sec := int(s+0.5) % 60
+	return fmt.Sprintf("%02d:%02d", m, sec)
+}
+
+// fmtGiga renders a count in billions, one decimal.
+func fmtGiga(x float64) string { return fmt.Sprintf("%.1f", x/1e9) }

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner produces one experiment report from a seed.
+type Runner func(seed int64) (*Report, error)
+
+// Registry maps experiment ids (as used by cmd/pnsim) to runners.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"fig1":  Fig1,
+		"fig3":  func(int64) (*Report, error) { return Fig3() },
+		"fig4":  func(int64) (*Report, error) { return Fig4() },
+		"fig6":  func(int64) (*Report, error) { return Fig6() },
+		"fig7":  func(int64) (*Report, error) { return Fig7() },
+		"fig10": func(int64) (*Report, error) { return Fig10() },
+		"table1": func(int64) (*Report, error) {
+			return Table1()
+		},
+		"fig11":  Fig11,
+		"fig12":  Fig12,
+		"fig13":  Fig13,
+		"fig14":  Fig14,
+		"table2": Table2,
+		"fig15":  Fig15,
+		"sweep": func(seed int64) (*Report, error) {
+			return ParamSweep(SweepOptions{Seed: seed})
+		},
+		"ablation-semantics": AblationSemantics,
+		"ablation-order":     AblationOrder,
+		"mppt":               MPPTComparison,
+		"predictive":         PredictiveComparison,
+		"buffers":            BufferComparison,
+	}
+}
+
+// IDs returns the registry keys in stable order.
+func IDs() []string {
+	reg := Registry()
+	ids := make([]string, 0, len(reg))
+	for id := range reg {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, seed int64) (*Report, error) {
+	r, ok := Registry()[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	return r(seed)
+}

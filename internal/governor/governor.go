@@ -1,0 +1,255 @@
+// Package governor re-implements the default Linux cpufreq governors the
+// paper compares against in Table II: performance, powersave, ondemand,
+// conservative and interactive. The governors only scale frequency — like
+// their Linux counterparts they keep all eight cores online — and sample
+// CPU load periodically rather than reacting to supply-voltage interrupts,
+// which is exactly why they fail on a storage-less harvesting supply.
+package governor
+
+import (
+	"fmt"
+
+	"pnps/internal/soc"
+)
+
+// State is the platform view a governor samples at each tick.
+type State struct {
+	// Load is CPU utilisation in [0,1] (1 = saturated, the paper's
+	// ray-tracing workload).
+	Load float64
+	// OPP is the platform's committed operating point.
+	OPP soc.OPP
+	// SupplyVolts is the instantaneous supply voltage. Linux governors
+	// ignore it — it is provided so experimental governors can cheat.
+	SupplyVolts float64
+}
+
+// Governor decides a target OPP at every sampling tick.
+type Governor interface {
+	// Name returns the cpufreq governor name.
+	Name() string
+	// SamplingPeriod returns the tick interval in seconds.
+	SamplingPeriod() float64
+	// Decide returns the desired OPP given the sampled state.
+	Decide(now float64, st State) soc.OPP
+	// Reset clears internal state (called at boot).
+	Reset()
+}
+
+// allCores is the fixed core configuration Linux governors run with.
+var allCores = soc.CoreConfig{Little: 4, Big: 4}
+
+// Performance pins the maximum frequency (cpufreq "performance").
+type Performance struct{}
+
+// Name implements Governor.
+func (Performance) Name() string { return "performance" }
+
+// SamplingPeriod implements Governor.
+func (Performance) SamplingPeriod() float64 { return 0.1 }
+
+// Decide implements Governor.
+func (Performance) Decide(float64, State) soc.OPP {
+	return soc.OPP{FreqIdx: soc.NumFrequencyLevels - 1, Config: allCores}
+}
+
+// Reset implements Governor.
+func (Performance) Reset() {}
+
+// Powersave pins the minimum frequency (cpufreq "powersave"). The paper
+// notes it "statically reduces performance to a minimum".
+type Powersave struct{}
+
+// Name implements Governor.
+func (Powersave) Name() string { return "powersave" }
+
+// SamplingPeriod implements Governor.
+func (Powersave) SamplingPeriod() float64 { return 0.1 }
+
+// Decide implements Governor.
+func (Powersave) Decide(float64, State) soc.OPP {
+	return soc.OPP{FreqIdx: 0, Config: allCores}
+}
+
+// Reset implements Governor.
+func (Powersave) Reset() {}
+
+// Ondemand jumps straight to the maximum frequency when load exceeds
+// UpThreshold and otherwise steps proportionally downwards — a faithful
+// sketch of cpufreq "ondemand".
+type Ondemand struct {
+	// UpThreshold is the load above which the governor jumps to fmax
+	// (Linux default 0.80).
+	UpThreshold float64
+	// Period is the sampling period, seconds (Linux default ~100 ms at
+	// these transition latencies).
+	Period float64
+}
+
+// NewOndemand returns an ondemand governor with Linux-default tuning.
+func NewOndemand() *Ondemand { return &Ondemand{UpThreshold: 0.80, Period: 0.1} }
+
+// Name implements Governor.
+func (*Ondemand) Name() string { return "ondemand" }
+
+// SamplingPeriod implements Governor.
+func (g *Ondemand) SamplingPeriod() float64 { return g.Period }
+
+// Decide implements Governor.
+func (g *Ondemand) Decide(_ float64, st State) soc.OPP {
+	if st.Load >= g.UpThreshold {
+		return soc.OPP{FreqIdx: soc.NumFrequencyLevels - 1, Config: allCores}
+	}
+	// Proportional down-scaling: pick the lowest level whose relative
+	// speed still covers the sampled load.
+	levels := soc.FrequencyLevels()
+	fmax := levels[len(levels)-1]
+	want := st.Load * fmax
+	idx := 0
+	for i, f := range levels {
+		if f >= want {
+			idx = i
+			break
+		}
+	}
+	return soc.OPP{FreqIdx: idx, Config: allCores}
+}
+
+// Reset implements Governor.
+func (g *Ondemand) Reset() {}
+
+// Conservative steps one frequency level at a time towards the load — the
+// cpufreq "conservative" governor. Under a saturating workload it ramps to
+// fmax in NumFrequencyLevels·Period seconds, which is what grants it the
+// paper's five seconds of life (Table II) before the harvesting supply
+// collapses.
+type Conservative struct {
+	// UpThreshold and DownThreshold bound the dead zone (Linux defaults
+	// 0.80 / 0.20).
+	UpThreshold, DownThreshold float64
+	// Period is the sampling period, seconds.
+	Period float64
+}
+
+// NewConservative returns a conservative governor with Linux-default
+// tuning (sampling stretched to the platform's transition latency scale).
+func NewConservative() *Conservative {
+	return &Conservative{UpThreshold: 0.80, DownThreshold: 0.20, Period: 1.0}
+}
+
+// Name implements Governor.
+func (*Conservative) Name() string { return "conservative" }
+
+// SamplingPeriod implements Governor.
+func (g *Conservative) SamplingPeriod() float64 { return g.Period }
+
+// Decide implements Governor.
+func (g *Conservative) Decide(_ float64, st State) soc.OPP {
+	idx := st.OPP.FreqIdx
+	switch {
+	case st.Load >= g.UpThreshold && idx < soc.NumFrequencyLevels-1:
+		idx++
+	case st.Load <= g.DownThreshold && idx > 0:
+		idx--
+	}
+	return soc.OPP{FreqIdx: idx, Config: allCores}
+}
+
+// Reset implements Governor.
+func (g *Conservative) Reset() {}
+
+// Interactive models Android's "interactive" governor: on load above
+// GoHispeedLoad it jumps to an intermediate "hispeed" frequency, then
+// ramps to maximum after AboveHispeedDelay of sustained load.
+type Interactive struct {
+	// GoHispeedLoad is the load that triggers the hispeed jump (default
+	// 0.85).
+	GoHispeedLoad float64
+	// HispeedIdx is the frequency index of the hispeed jump target.
+	HispeedIdx int
+	// AboveHispeedDelay is the sustained-load delay before ramping past
+	// hispeed, seconds.
+	AboveHispeedDelay float64
+	// Period is the sampling period, seconds.
+	Period float64
+
+	hispeedSince float64
+	armed        bool
+}
+
+// NewInteractive returns an interactive governor with Android-like tuning.
+func NewInteractive() *Interactive {
+	return &Interactive{GoHispeedLoad: 0.85, HispeedIdx: 4, AboveHispeedDelay: 0.2, Period: 0.1}
+}
+
+// Name implements Governor.
+func (*Interactive) Name() string { return "interactive" }
+
+// SamplingPeriod implements Governor.
+func (g *Interactive) SamplingPeriod() float64 { return g.Period }
+
+// Decide implements Governor.
+func (g *Interactive) Decide(now float64, st State) soc.OPP {
+	if st.Load < g.GoHispeedLoad {
+		g.armed = false
+		// Proportional fall-back below hispeed.
+		levels := soc.FrequencyLevels()
+		want := st.Load * levels[len(levels)-1]
+		idx := 0
+		for i, f := range levels {
+			if f >= want {
+				idx = i
+				break
+			}
+		}
+		if idx > g.HispeedIdx {
+			idx = g.HispeedIdx
+		}
+		return soc.OPP{FreqIdx: idx, Config: allCores}
+	}
+	if !g.armed {
+		g.armed = true
+		g.hispeedSince = now
+	}
+	idx := g.HispeedIdx
+	if now-g.hispeedSince >= g.AboveHispeedDelay {
+		idx = soc.NumFrequencyLevels - 1
+	}
+	if st.OPP.FreqIdx > idx {
+		idx = st.OPP.FreqIdx // never ramp down while loaded
+	}
+	return soc.OPP{FreqIdx: idx, Config: allCores}
+}
+
+// Reset implements Governor.
+func (g *Interactive) Reset() { g.armed = false; g.hispeedSince = 0 }
+
+// ByName returns the governor with the given cpufreq name.
+func ByName(name string) (Governor, error) {
+	switch name {
+	case "performance":
+		return Performance{}, nil
+	case "powersave":
+		return Powersave{}, nil
+	case "ondemand":
+		return NewOndemand(), nil
+	case "conservative":
+		return NewConservative(), nil
+	case "interactive":
+		return NewInteractive(), nil
+	default:
+		return nil, fmt.Errorf("governor: unknown governor %q", name)
+	}
+}
+
+// All returns one instance of every implemented Linux governor, in the
+// order of the paper's Table II discussion.
+func All() []Governor {
+	return []Governor{
+		Performance{},
+		NewOndemand(),
+		NewInteractive(),
+		NewConservative(),
+		Powersave{},
+	}
+}

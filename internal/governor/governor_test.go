@@ -1,0 +1,172 @@
+package governor
+
+import (
+	"testing"
+
+	"pnps/internal/soc"
+)
+
+func fullLoad(o soc.OPP) State { return State{Load: 1, OPP: o, SupplyVolts: 5} }
+
+func idleLoad(o soc.OPP) State { return State{Load: 0.05, OPP: o, SupplyVolts: 5} }
+
+func TestPerformancePinsMax(t *testing.T) {
+	g := Performance{}
+	o := g.Decide(0, idleLoad(soc.MinOPP()))
+	if o.FreqIdx != soc.NumFrequencyLevels-1 {
+		t.Errorf("performance picked level %d", o.FreqIdx)
+	}
+	if o.Config.TotalCores() != 8 {
+		t.Error("Linux governors keep all cores online")
+	}
+}
+
+func TestPowersavePinsMin(t *testing.T) {
+	g := Powersave{}
+	o := g.Decide(0, fullLoad(soc.MaxOPP()))
+	if o.FreqIdx != 0 {
+		t.Errorf("powersave picked level %d", o.FreqIdx)
+	}
+	if o.Config.TotalCores() != 8 {
+		t.Error("powersave should keep all cores online")
+	}
+}
+
+func TestOndemandJumpsToMaxUnderLoad(t *testing.T) {
+	g := NewOndemand()
+	o := g.Decide(0, fullLoad(soc.MinOPP()))
+	if o.FreqIdx != soc.NumFrequencyLevels-1 {
+		t.Errorf("ondemand under load picked level %d, want max", o.FreqIdx)
+	}
+}
+
+func TestOndemandScalesDownWhenIdle(t *testing.T) {
+	g := NewOndemand()
+	o := g.Decide(0, idleLoad(soc.OPP{FreqIdx: 7, Config: soc.CoreConfig{Little: 4, Big: 4}}))
+	if o.FreqIdx >= 7 {
+		t.Errorf("ondemand idle picked level %d, want lower", o.FreqIdx)
+	}
+	// Proportional target must still cover the load.
+	covered := soc.FrequencyLevels()[o.FreqIdx] >= 0.05*soc.FrequencyLevels()[7]
+	if !covered {
+		t.Error("ondemand down-scaling undershoots the load")
+	}
+}
+
+func TestConservativeStepsOneLevel(t *testing.T) {
+	g := NewConservative()
+	cur := soc.OPP{FreqIdx: 2, Config: soc.CoreConfig{Little: 4, Big: 4}}
+	up := g.Decide(0, fullLoad(cur))
+	if up.FreqIdx != 3 {
+		t.Errorf("conservative up-step to %d, want 3", up.FreqIdx)
+	}
+	down := g.Decide(0, idleLoad(cur))
+	if down.FreqIdx != 1 {
+		t.Errorf("conservative down-step to %d, want 1", down.FreqIdx)
+	}
+	// Dead zone.
+	mid := g.Decide(0, State{Load: 0.5, OPP: cur})
+	if mid.FreqIdx != 2 {
+		t.Errorf("conservative in dead zone moved to %d", mid.FreqIdx)
+	}
+	// Bounds.
+	top := g.Decide(0, fullLoad(soc.OPP{FreqIdx: 7, Config: cur.Config}))
+	if top.FreqIdx != 7 {
+		t.Error("conservative stepped past max")
+	}
+	bottom := g.Decide(0, idleLoad(soc.OPP{FreqIdx: 0, Config: cur.Config}))
+	if bottom.FreqIdx != 0 {
+		t.Error("conservative stepped past min")
+	}
+}
+
+func TestConservativeRampDuration(t *testing.T) {
+	// Under saturating load the ramp to fmax takes levels×period seconds
+	// — the origin of the paper's 5-second conservative lifetime.
+	g := NewConservative()
+	cur := soc.OPP{FreqIdx: 0, Config: soc.CoreConfig{Little: 4, Big: 4}}
+	ticks := 0
+	for cur.FreqIdx < soc.NumFrequencyLevels-1 && ticks < 100 {
+		cur = g.Decide(float64(ticks)*g.SamplingPeriod(), fullLoad(cur))
+		ticks++
+	}
+	rampSeconds := float64(ticks) * g.SamplingPeriod()
+	if rampSeconds < 2 || rampSeconds > 15 {
+		t.Errorf("conservative ramp %.1f s, want a few seconds (paper: dies at ≈5 s)", rampSeconds)
+	}
+}
+
+func TestInteractiveHispeedThenMax(t *testing.T) {
+	g := NewInteractive()
+	cur := soc.OPP{FreqIdx: 0, Config: soc.CoreConfig{Little: 4, Big: 4}}
+	o1 := g.Decide(0, fullLoad(cur))
+	if o1.FreqIdx != g.HispeedIdx {
+		t.Errorf("first loaded tick picked %d, want hispeed %d", o1.FreqIdx, g.HispeedIdx)
+	}
+	// Before the above-hispeed delay: hold.
+	o2 := g.Decide(0.1, fullLoad(o1))
+	if o2.FreqIdx != g.HispeedIdx {
+		t.Errorf("pre-delay tick picked %d", o2.FreqIdx)
+	}
+	// After the delay: max.
+	o3 := g.Decide(0.31, fullLoad(o2))
+	if o3.FreqIdx != soc.NumFrequencyLevels-1 {
+		t.Errorf("post-delay tick picked %d, want max", o3.FreqIdx)
+	}
+	// Load drop resets the latch and scales down (capped at hispeed).
+	o4 := g.Decide(1, idleLoad(o3))
+	if o4.FreqIdx > g.HispeedIdx {
+		t.Errorf("idle tick picked %d, want <= hispeed", o4.FreqIdx)
+	}
+	g.Reset()
+	if g.armed {
+		t.Error("Reset did not clear the hispeed latch")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"performance", "powersave", "ondemand", "conservative", "interactive"} {
+		g, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if g.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, g.Name())
+		}
+		if g.SamplingPeriod() <= 0 {
+			t.Errorf("%s sampling period %g", name, g.SamplingPeriod())
+		}
+	}
+	if _, err := ByName("warpspeed"); err == nil {
+		t.Error("unknown governor accepted")
+	}
+}
+
+func TestAllListsFive(t *testing.T) {
+	all := All()
+	if len(all) != 5 {
+		t.Fatalf("All() returned %d governors", len(all))
+	}
+	seen := map[string]bool{}
+	for _, g := range all {
+		if seen[g.Name()] {
+			t.Errorf("duplicate governor %q", g.Name())
+		}
+		seen[g.Name()] = true
+	}
+}
+
+func TestDecisionsStayValid(t *testing.T) {
+	states := []State{
+		fullLoad(soc.MinOPP()), idleLoad(soc.MaxOPP()),
+		{Load: 0.5, OPP: soc.OPP{FreqIdx: 3, Config: soc.CoreConfig{Little: 4, Big: 4}}},
+	}
+	for _, g := range All() {
+		for i, st := range states {
+			if o := g.Decide(float64(i), st); !o.Valid() {
+				t.Errorf("%s produced invalid OPP %v", g.Name(), o)
+			}
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package mppt implements the explicit maximum-power-point-tracking
+// algorithms that conventional energy-harvesting front-ends use: Perturb
+// & Observe (P&O) and Incremental Conductance (IncCond).
+//
+// The paper argues (Sections I and V-B) that power-neutral operation
+// makes this hardware redundant: stabilising the supply at the array's
+// knee *is* MPP tracking. This package provides the conventional trackers
+// so the claim can be quantified — experiment id "mppt" compares the
+// implicit tracking efficiency of the power-neutral loop against an ideal
+// P&O front-end.
+package mppt
+
+import (
+	"fmt"
+
+	"pnps/internal/pv"
+)
+
+// Tracker steps an operating-voltage command toward the array's MPP from
+// terminal measurements only.
+type Tracker interface {
+	// Name identifies the algorithm.
+	Name() string
+	// Step consumes the present operating point (v, i) and returns the
+	// next voltage command.
+	Step(v, i float64) float64
+	// Reset clears internal state.
+	Reset(v0 float64)
+}
+
+// PerturbObserve is the classic hill climber: keep stepping in the
+// direction that increased power, reverse otherwise.
+type PerturbObserve struct {
+	// StepVolts is the perturbation size.
+	StepVolts float64
+	// VMin and VMax clamp the voltage command.
+	VMin, VMax float64
+
+	prevV, prevP float64
+	dir          float64
+	started      bool
+}
+
+// NewPerturbObserve builds a P&O tracker.
+func NewPerturbObserve(stepVolts, vmin, vmax float64) (*PerturbObserve, error) {
+	if stepVolts <= 0 {
+		return nil, fmt.Errorf("mppt: step must be positive, got %g", stepVolts)
+	}
+	if !(vmax > vmin) {
+		return nil, fmt.Errorf("mppt: voltage window [%g,%g] invalid", vmin, vmax)
+	}
+	return &PerturbObserve{StepVolts: stepVolts, VMin: vmin, VMax: vmax, dir: +1}, nil
+}
+
+// Name implements Tracker.
+func (t *PerturbObserve) Name() string { return "perturb-observe" }
+
+// Reset implements Tracker.
+func (t *PerturbObserve) Reset(v0 float64) {
+	t.prevV, t.prevP = v0, 0
+	t.dir = +1
+	t.started = false
+}
+
+// Step implements Tracker.
+func (t *PerturbObserve) Step(v, i float64) float64 {
+	p := v * i
+	if t.started && p < t.prevP {
+		t.dir = -t.dir // power fell: reverse
+	}
+	t.started = true
+	t.prevV, t.prevP = v, p
+	next := v + t.dir*t.StepVolts
+	if next < t.VMin {
+		next = t.VMin
+		t.dir = +1
+	}
+	if next > t.VMax {
+		next = t.VMax
+		t.dir = -1
+	}
+	return next
+}
+
+// IncCond is the incremental-conductance tracker: at the MPP,
+// dI/dV = −I/V; step toward satisfying that identity. It converges
+// without the oscillation P&O exhibits at the optimum.
+type IncCond struct {
+	// StepVolts is the voltage step size.
+	StepVolts float64
+	// VMin and VMax clamp the voltage command.
+	VMin, VMax float64
+	// Epsilon is the conductance-match tolerance.
+	Epsilon float64
+
+	prevV, prevI float64
+	started      bool
+}
+
+// NewIncCond builds an incremental-conductance tracker.
+func NewIncCond(stepVolts, vmin, vmax float64) (*IncCond, error) {
+	if stepVolts <= 0 {
+		return nil, fmt.Errorf("mppt: step must be positive, got %g", stepVolts)
+	}
+	if !(vmax > vmin) {
+		return nil, fmt.Errorf("mppt: voltage window [%g,%g] invalid", vmin, vmax)
+	}
+	return &IncCond{StepVolts: stepVolts, VMin: vmin, VMax: vmax, Epsilon: 1e-3}, nil
+}
+
+// Name implements Tracker.
+func (t *IncCond) Name() string { return "incremental-conductance" }
+
+// Reset implements Tracker.
+func (t *IncCond) Reset(v0 float64) {
+	t.prevV, t.prevI = v0, 0
+	t.started = false
+}
+
+// Step implements Tracker.
+func (t *IncCond) Step(v, i float64) float64 {
+	defer func() { t.prevV, t.prevI = v, i }()
+	if !t.started {
+		t.started = true
+		return clampV(v+t.StepVolts, t.VMin, t.VMax)
+	}
+	dv := v - t.prevV
+	di := i - t.prevI
+	var move float64
+	if dv == 0 {
+		switch {
+		case di > 0:
+			move = +t.StepVolts
+		case di < 0:
+			move = -t.StepVolts
+		}
+	} else {
+		inc := di / dv   // incremental conductance
+		target := -i / v // negative instantaneous conductance
+		switch {
+		case inc-target > t.Epsilon: // left of MPP
+			move = +t.StepVolts
+		case target-inc > t.Epsilon: // right of MPP
+			move = -t.StepVolts
+		}
+	}
+	return clampV(v+move, t.VMin, t.VMax)
+}
+
+func clampV(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// TrackResult summarises a tracking run against the array model.
+type TrackResult struct {
+	// Efficiency is harvested energy / ideal MPP energy over the run.
+	Efficiency float64
+	// FinalV is the final voltage command.
+	FinalV float64
+	// Steps is the number of tracker iterations.
+	Steps int
+}
+
+// Track runs a tracker against the array at fixed irradiance for n steps
+// starting from v0, assuming the converter settles to each voltage
+// command between steps (ideal front-end). It returns the achieved
+// tracking efficiency.
+func Track(tr Tracker, arr *pv.Array, g, v0 float64, n int) (TrackResult, error) {
+	if n < 1 {
+		return TrackResult{}, fmt.Errorf("mppt: need >=1 step, got %d", n)
+	}
+	mpp, err := arr.MaximumPowerPoint(g)
+	if err != nil {
+		return TrackResult{}, err
+	}
+	if mpp.P == 0 {
+		return TrackResult{}, fmt.Errorf("mppt: dark array")
+	}
+	tr.Reset(v0)
+	v := v0
+	var harvested float64
+	for k := 0; k < n; k++ {
+		i, err := arr.CurrentAt(v, g)
+		if err != nil {
+			return TrackResult{}, err
+		}
+		harvested += v * i
+		v = tr.Step(v, i)
+	}
+	return TrackResult{
+		Efficiency: harvested / (mpp.P * float64(n)),
+		FinalV:     v,
+		Steps:      n,
+	}, nil
+}

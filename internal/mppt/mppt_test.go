@@ -1,0 +1,140 @@
+package mppt
+
+import (
+	"math"
+	"testing"
+
+	"pnps/internal/pv"
+)
+
+func trackers(t *testing.T) []Tracker {
+	t.Helper()
+	po, err := NewPerturbObserve(0.05, 1.0, 6.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic, err := NewIncCond(0.05, 1.0, 6.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Tracker{po, ic}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewPerturbObserve(0, 1, 6); err == nil {
+		t.Error("zero step accepted")
+	}
+	if _, err := NewPerturbObserve(0.1, 6, 1); err == nil {
+		t.Error("inverted window accepted")
+	}
+	if _, err := NewIncCond(-1, 1, 6); err == nil {
+		t.Error("negative step accepted")
+	}
+	if _, err := NewIncCond(0.1, 3, 3); err == nil {
+		t.Error("empty window accepted")
+	}
+}
+
+func TestTrackersConvergeToMPP(t *testing.T) {
+	arr := pv.SouthamptonArray()
+	mpp, err := arr.MaximumPowerPoint(pv.StandardIrradiance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range trackers(t) {
+		res, err := Track(tr, arr, pv.StandardIrradiance, 4.0, 400)
+		if err != nil {
+			t.Fatalf("%s: %v", tr.Name(), err)
+		}
+		if res.Efficiency < 0.95 {
+			t.Errorf("%s efficiency %.3f, want >0.95", tr.Name(), res.Efficiency)
+		}
+		if math.Abs(res.FinalV-mpp.V) > 0.15 {
+			t.Errorf("%s settled at %.2f V, MPP is %.2f V", tr.Name(), res.FinalV, mpp.V)
+		}
+	}
+}
+
+func TestTrackersConvergeFromBothSides(t *testing.T) {
+	arr := pv.SouthamptonArray()
+	mpp, _ := arr.MaximumPowerPoint(pv.StandardIrradiance)
+	for _, tr := range trackers(t) {
+		for _, v0 := range []float64{2.0, 6.3} {
+			res, err := Track(tr, arr, pv.StandardIrradiance, v0, 400)
+			if err != nil {
+				t.Fatalf("%s from %g: %v", tr.Name(), v0, err)
+			}
+			if math.Abs(res.FinalV-mpp.V) > 0.2 {
+				t.Errorf("%s from %.1f V settled at %.2f V (MPP %.2f)",
+					tr.Name(), v0, res.FinalV, mpp.V)
+			}
+		}
+	}
+}
+
+func TestTrackersRespectWindow(t *testing.T) {
+	arr := pv.SouthamptonArray()
+	for _, tr := range trackers(t) {
+		tr.Reset(4.0)
+		v := 4.0
+		for k := 0; k < 300; k++ {
+			i, err := arr.CurrentAt(v, 700)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v = tr.Step(v, i)
+			if v < 1.0-1e-9 || v > 6.5+1e-9 {
+				t.Fatalf("%s left the window: %.3f V", tr.Name(), v)
+			}
+		}
+	}
+}
+
+func TestTrackLowIrradiance(t *testing.T) {
+	arr := pv.SouthamptonArray()
+	for _, tr := range trackers(t) {
+		res, err := Track(tr, arr, 150, 4.0, 400)
+		if err != nil {
+			t.Fatalf("%s: %v", tr.Name(), err)
+		}
+		if res.Efficiency < 0.90 {
+			t.Errorf("%s low-light efficiency %.3f", tr.Name(), res.Efficiency)
+		}
+	}
+}
+
+func TestTrackValidation(t *testing.T) {
+	arr := pv.SouthamptonArray()
+	po, _ := NewPerturbObserve(0.05, 1, 6.5)
+	if _, err := Track(po, arr, 1000, 4.0, 0); err == nil {
+		t.Error("zero steps accepted")
+	}
+	if _, err := Track(po, arr, 0, 4.0, 100); err == nil {
+		t.Error("dark array accepted")
+	}
+}
+
+func TestPerturbObserveOscillatesAtMPP(t *testing.T) {
+	// P&O's defining behaviour: it never settles — it hunts around the
+	// MPP with its step size.
+	arr := pv.SouthamptonArray()
+	po, _ := NewPerturbObserve(0.05, 1, 6.5)
+	po.Reset(5.3)
+	v := 5.3
+	seen := map[float64]bool{}
+	for k := 0; k < 50; k++ {
+		i, err := arr.CurrentAt(v, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v = tround(po.Step(v, i))
+		if k > 20 {
+			seen[v] = true
+		}
+	}
+	if len(seen) < 2 {
+		t.Error("P&O settled exactly — should oscillate around the MPP")
+	}
+}
+
+func tround(v float64) float64 { return math.Round(v*1e6) / 1e6 }

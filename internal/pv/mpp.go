@@ -1,0 +1,62 @@
+package pv
+
+import "math"
+
+// MPP describes a maximum power point of the array at some irradiance.
+type MPP struct {
+	V float64 // voltage at the maximum power point, volts
+	I float64 // current at the maximum power point, amps
+	P float64 // maximum power, watts
+}
+
+// MaximumPowerPoint locates the MPP at irradiance g by golden-section
+// search over [0, Voc]; P(V) is unimodal for the single-diode model.
+// At zero irradiance it returns a zero MPP.
+func (a *Array) MaximumPowerPoint(g float64) (MPP, error) {
+	if g <= 0 {
+		return MPP{}, nil
+	}
+	voc, err := a.OpenCircuitVoltage(g)
+	if err != nil {
+		return MPP{}, err
+	}
+	power := func(v float64) float64 {
+		p, perr := a.PowerAt(v, g)
+		if perr != nil {
+			return math.Inf(-1)
+		}
+		return p
+	}
+	const phi = 0.6180339887498949
+	lo, hi := 0.0, voc
+	x1 := hi - phi*(hi-lo)
+	x2 := lo + phi*(hi-lo)
+	f1, f2 := power(x1), power(x2)
+	for iter := 0; iter < 200 && hi-lo > 1e-7; iter++ {
+		if f1 < f2 {
+			lo, x1, f1 = x1, x2, f2
+			x2 = lo + phi*(hi-lo)
+			f2 = power(x2)
+		} else {
+			hi, x2, f2 = x2, x1, f1
+			x1 = hi - phi*(hi-lo)
+			f1 = power(x1)
+		}
+	}
+	v := 0.5 * (lo + hi)
+	i, err := a.CurrentAt(v, g)
+	if err != nil {
+		return MPP{}, err
+	}
+	return MPP{V: v, I: i, P: v * i}, nil
+}
+
+// AvailablePower returns the maximum extractable power at irradiance g —
+// the paper's "estimated available harvested power" used for Fig. 14.
+func (a *Array) AvailablePower(g float64) (float64, error) {
+	m, err := a.MaximumPowerPoint(g)
+	if err != nil {
+		return 0, err
+	}
+	return m.P, nil
+}

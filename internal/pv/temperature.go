@@ -1,0 +1,79 @@
+package pv
+
+import (
+	"fmt"
+	"math"
+)
+
+// Temperature behaviour of the single-diode model. Cell heating is a
+// first-order effect for outdoor deployments: silicon loses ≈0.4%/K of
+// output power, mostly through the diode saturation current's strong
+// temperature dependence (Voc falls ≈2 mV/K per cell).
+
+const (
+	// refTempK is the STC reference temperature (25 °C).
+	refTempK = 298.15
+	// siliconBandgapEV is the bandgap used in the I0(T) scaling law.
+	siliconBandgapEV = 1.12
+	// alphaIscPerK is the relative short-circuit current temperature
+	// coefficient, typical for monocrystalline silicon.
+	alphaIscPerK = 5e-4
+)
+
+// AtTemperature returns a copy of the array re-parameterised for the
+// given cell temperature in kelvin, applying the standard scaling laws:
+//
+//	Il(T) = Il,ref · (1 + α·(T − Tref))
+//	I0(T) = I0,ref · (T/Tref)³ · exp( (Eg/k)·(1/Tref − 1/T) )
+//
+// The thermal voltage scales implicitly through TempK.
+func (a *Array) AtTemperature(tempK float64) (*Array, error) {
+	if tempK <= 0 {
+		return nil, fmt.Errorf("pv: temperature %g K invalid", tempK)
+	}
+	out := *a
+	out.TempK = tempK
+	out.IscSTC = a.IscSTC * (1 + alphaIscPerK*(tempK-refTempK))
+	egOverK := siliconBandgapEV / kOverQ // in kelvin
+	ratio := tempK / refTempK
+	out.I0 = a.I0 * ratio * ratio * ratio * math.Exp(egOverK*(1/refTempK-1/tempK))
+	if out.IscSTC <= 0 {
+		return nil, fmt.Errorf("pv: temperature %g K drives Isc non-positive", tempK)
+	}
+	return &out, nil
+}
+
+// PowerTemperatureCoefficient estimates the relative MPP power change per
+// kelvin around the given temperature (W/W/K; expected ≈ −0.004 for
+// silicon), by symmetric finite difference at standard irradiance.
+func (a *Array) PowerTemperatureCoefficient(tempK float64) (float64, error) {
+	const dT = 5.0
+	lo, err := a.AtTemperature(tempK - dT)
+	if err != nil {
+		return 0, err
+	}
+	hi, err := a.AtTemperature(tempK + dT)
+	if err != nil {
+		return 0, err
+	}
+	pLo, err := lo.AvailablePower(StandardIrradiance)
+	if err != nil {
+		return 0, err
+	}
+	pHi, err := hi.AvailablePower(StandardIrradiance)
+	if err != nil {
+		return 0, err
+	}
+	mid, err := a.AtTemperature(tempK)
+	if err != nil {
+		return 0, err
+	}
+	pMid, err := mid.AvailablePower(StandardIrradiance)
+	if err != nil {
+		return 0, err
+	}
+	if pMid == 0 {
+		return 0, fmt.Errorf("pv: zero power at %g K", tempK)
+	}
+	return (pHi - pLo) / (2 * dT) / pMid, nil
+}

@@ -1,0 +1,114 @@
+package pv
+
+import (
+	"testing"
+)
+
+func TestVocFallsWithTemperature(t *testing.T) {
+	arr := SouthamptonArray()
+	cold, err := arr.AtTemperature(273.15) // 0 °C
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, err := arr.AtTemperature(333.15) // 60 °C
+	if err != nil {
+		t.Fatal(err)
+	}
+	vocCold, err := cold.OpenCircuitVoltage(StandardIrradiance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vocHot, err := hot.OpenCircuitVoltage(StandardIrradiance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vocHot >= vocCold {
+		t.Fatalf("Voc must fall with temperature: %.3f V @0°C vs %.3f V @60°C", vocCold, vocHot)
+	}
+	// Classic silicon magnitude: ≈ −2 mV/K per cell, 11 cells, 60 K span
+	// → roughly −1.0 to −1.7 V.
+	drop := vocCold - vocHot
+	if drop < 0.5 || drop > 2.5 {
+		t.Errorf("Voc drop over 60 K = %.2f V, want ≈1.3 V", drop)
+	}
+}
+
+func TestIscRisesSlightlyWithTemperature(t *testing.T) {
+	arr := SouthamptonArray()
+	hot, err := arr.AtTemperature(333.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iCold, err := arr.ShortCircuitCurrent(StandardIrradiance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iHot, err := hot.ShortCircuitCurrent(StandardIrradiance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iHot <= iCold {
+		t.Errorf("Isc should rise slightly with temperature: %.4f vs %.4f", iCold, iHot)
+	}
+	if rel := (iHot - iCold) / iCold; rel > 0.05 {
+		t.Errorf("Isc rise %.1f%% over 35 K too large", rel*100)
+	}
+}
+
+func TestPowerTemperatureCoefficient(t *testing.T) {
+	arr := SouthamptonArray()
+	coef, err := arr.PowerTemperatureCoefficient(refTempK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Silicon: ≈ −0.3 to −0.5 %/K.
+	if coef > -0.002 || coef < -0.007 {
+		t.Errorf("power temperature coefficient %.4f /K, want ≈-0.004", coef)
+	}
+}
+
+func TestAtTemperatureValidation(t *testing.T) {
+	arr := SouthamptonArray()
+	if _, err := arr.AtTemperature(0); err == nil {
+		t.Error("zero kelvin accepted")
+	}
+	if _, err := arr.AtTemperature(-50); err == nil {
+		t.Error("negative temperature accepted")
+	}
+}
+
+func TestAtTemperatureIdentityAtReference(t *testing.T) {
+	arr := SouthamptonArray()
+	same, err := arr.AtTemperature(refTempK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := arr.AvailablePower(StandardIrradiance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := same.AvailablePower(StandardIrradiance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := pa - pb; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("reference-temperature copy diverges: %g vs %g", pa, pb)
+	}
+}
+
+func TestHotArrayStillSupportsTheBoard(t *testing.T) {
+	// Sanity for summer deployments: at 60 °C cell temperature the array
+	// must still deliver more than the board's minimum power.
+	arr := SouthamptonArray()
+	hot, err := arr.AtTemperature(333.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := hot.AvailablePower(StandardIrradiance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 3.0 {
+		t.Errorf("hot-array MPP %.2f W implausibly low", p)
+	}
+}

@@ -1,0 +1,12 @@
+package sim
+
+import "pnps/internal/monitor"
+
+// monitorCoarse returns a deliberately degraded threshold DAC: 17 taps
+// over the default range (≈150 mV resolution, coarser than the paper's
+// Vwidth).
+func monitorCoarse() monitor.Config {
+	c := monitor.DefaultConfig()
+	c.Taps = 17
+	return c
+}

@@ -1,0 +1,186 @@
+package sim
+
+// Closed-loop physical-property tests: these check relationships that must
+// hold across the whole stack, not point values.
+
+import (
+	"testing"
+
+	"pnps/internal/core"
+	"pnps/internal/pv"
+	"pnps/internal/soc"
+)
+
+// shadowScenario is a survivable but stressing profile shared by the
+// property tests.
+func shadowScenario() pv.Profile {
+	return pv.Shadow{Base: 1000, Depth: 0.6, Start: 5, Duration: 3, Edge: 0.4}
+}
+
+func runControlled(t *testing.T, capacitance, vwidth float64, duration float64) *Result {
+	t.Helper()
+	p := core.DefaultParams()
+	if vwidth > 0 {
+		p.VWidth = vwidth
+	}
+	plat := soc.NewDefaultPlatform()
+	plat.Reset(0, soc.MinOPP())
+	ctrl, err := core.New(p, 5.3, soc.MinOPP(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Array: pv.SouthamptonArray(), Profile: shadowScenario(),
+		Capacitance: capacitance, InitialVC: 5.3, Platform: plat,
+		Controller: ctrl, Duration: duration,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestLargerCapacitorSlowsDynamics: with more buffering the supply moves
+// more slowly, so the controller services fewer threshold interrupts over
+// the same scenario.
+func TestLargerCapacitorSlowsDynamics(t *testing.T) {
+	small := runControlled(t, 22e-3, 0, 15)
+	large := runControlled(t, 220e-3, 0, 15)
+	if large.Interrupts >= small.Interrupts {
+		t.Errorf("interrupts: C=220mF gave %d, C=22mF gave %d — larger buffer should be calmer",
+			large.Interrupts, small.Interrupts)
+	}
+}
+
+// TestWiderHysteresisFiresLess: widening Vwidth (with the same Vq) leaves
+// more room between thresholds, reducing crossing frequency.
+func TestWiderHysteresisFiresLess(t *testing.T) {
+	narrow := runControlled(t, 47e-3, 0.08, 15)
+	wide := runControlled(t, 47e-3, 0.40, 15)
+	if wide.Interrupts >= narrow.Interrupts {
+		t.Errorf("interrupts: wide hysteresis gave %d, narrow gave %d",
+			wide.Interrupts, narrow.Interrupts)
+	}
+}
+
+// TestStaticLoadLadderLifetimes: under a fixed insufficient harvest,
+// heavier static OPPs die sooner.
+func TestStaticLoadLadderLifetimes(t *testing.T) {
+	lifetime := func(opp soc.OPP) float64 {
+		plat := soc.NewDefaultPlatform()
+		plat.Reset(0, opp)
+		res, err := Run(Config{
+			Array: pv.SouthamptonArray(), Profile: pv.Constant(450), // ≈2.5 W available
+			Capacitance: 47e-3, InitialVC: 5.3, Platform: plat,
+			Duration: 120, SkipSeries: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.BrownedOut {
+			return 120
+		}
+		return res.FirstBrownout
+	}
+	mid := lifetime(soc.OPP{FreqIdx: 4, Config: soc.CoreConfig{Little: 4, Big: 1}})
+	high := lifetime(soc.OPP{FreqIdx: 6, Config: soc.CoreConfig{Little: 4, Big: 3}})
+	max := lifetime(soc.MaxOPP())
+	if !(max <= high && high <= mid) {
+		t.Errorf("lifetimes not ordered: max=%.2f high=%.2f mid=%.2f", max, high, mid)
+	}
+	if max >= 120 {
+		t.Error("max OPP survived an insufficient harvest")
+	}
+}
+
+// TestDeterminism: identical configurations produce bit-identical results.
+func TestDeterminism(t *testing.T) {
+	a := runControlled(t, 47e-3, 0, 12)
+	b := runControlled(t, 47e-3, 0, 12)
+	if a.Interrupts != b.Interrupts || a.Instructions != b.Instructions ||
+		a.FinalVC != b.FinalVC || a.Brownouts != b.Brownouts {
+		t.Errorf("non-deterministic results: %+v vs %+v",
+			[4]float64{float64(a.Interrupts), a.Instructions, a.FinalVC, float64(a.Brownouts)},
+			[4]float64{float64(b.Interrupts), b.Instructions, b.FinalVC, float64(b.Brownouts)})
+	}
+	av := a.VC.Values()
+	bv := b.VC.Values()
+	if len(av) != len(bv) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(av), len(bv))
+	}
+	for i := range av {
+		if av[i] != bv[i] {
+			t.Fatalf("VC traces diverge at sample %d", i)
+		}
+	}
+}
+
+// TestControllerBeatsStaticOnWork: over a variable harvest the controller
+// must complete more work than the best surviving static configuration,
+// because it exploits the surplus the static point leaves unused.
+func TestControllerBeatsStaticOnWork(t *testing.T) {
+	profile := pv.Sinusoid{Mean: 700, Amplitude: 280, Period: 20}
+	const duration = 60.0
+
+	ctrlPlat := soc.NewDefaultPlatform()
+	ctrlPlat.Reset(0, soc.MinOPP())
+	ctrl, err := core.New(core.DefaultParams(), 5.3, soc.MinOPP(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrlRes, err := Run(Config{
+		Array: pv.SouthamptonArray(), Profile: profile,
+		Capacitance: 47e-3, InitialVC: 5.3, Platform: ctrlPlat,
+		Controller: ctrl, Duration: duration, SkipSeries: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctrlRes.BrownedOut {
+		t.Fatal("controller browned out on a survivable sinusoid")
+	}
+
+	// The safest static choice that survives the troughs: a LITTLE-only
+	// configuration sized for the minimum harvest.
+	staticPlat := soc.NewDefaultPlatform()
+	staticPlat.Reset(0, soc.OPP{FreqIdx: 2, Config: soc.CoreConfig{Little: 4}})
+	staticRes, err := Run(Config{
+		Array: pv.SouthamptonArray(), Profile: profile,
+		Capacitance: 47e-3, InitialVC: 5.3, Platform: staticPlat,
+		Duration: duration, SkipSeries: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if staticRes.BrownedOut {
+		t.Fatal("trough-sized static configuration browned out — rebalance the test")
+	}
+	if ctrlRes.Instructions <= staticRes.Instructions {
+		t.Errorf("controller %.3g instructions did not beat trough-sized static %.3g",
+			ctrlRes.Instructions, staticRes.Instructions)
+	}
+}
+
+// TestMonitorQuantisationCoarseningStillStable: even with a very coarse
+// threshold DAC the loop must remain stable (quantisation must degrade,
+// not destabilise).
+func TestMonitorQuantisationCoarseningStillStable(t *testing.T) {
+	plat := soc.NewDefaultPlatform()
+	plat.Reset(0, soc.MinOPP())
+	ctrl, err := core.New(core.DefaultParams(), 5.3, soc.MinOPP(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := monitorCoarse()
+	res, err := Run(Config{
+		Array: pv.SouthamptonArray(), Profile: shadowScenario(),
+		Capacitance: 47e-3, InitialVC: 5.3, Platform: plat,
+		Controller: ctrl, MonitorConfig: mc, Duration: 15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BrownedOut {
+		t.Error("coarse quantisation destabilised the loop")
+	}
+}

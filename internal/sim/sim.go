@@ -1,0 +1,615 @@
+// Package sim is the co-simulation engine that closes the loop of the
+// paper's Fig. 8: a PV array charges a small buffer capacitor whose
+// voltage node also supplies the MP-SoC board; the supply node is
+// integrated as an ODE (the same topology the authors modelled in
+// Simulink) while the platform, the threshold-monitor hardware and the
+// control software evolve as discrete events.
+//
+// Continuous part:
+//
+//	C · dVc/dt = Ipv(Vc, G(t)) − Iboard(Vc) − Imonitor(Vc)
+//
+// Discrete part: threshold-crossing interrupts (power-neutral controller),
+// periodic sampling ticks (Linux governors), OPP-transition completions,
+// brownout and optional restart.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"pnps/internal/core"
+	"pnps/internal/governor"
+	"pnps/internal/monitor"
+	"pnps/internal/ode"
+	"pnps/internal/pv"
+	"pnps/internal/soc"
+	"pnps/internal/trace"
+)
+
+// Config assembles one simulation run. Exactly one of Controller or
+// Governor must be set; a nil pair simulates a static (uncontrolled)
+// platform, which is how the paper's "without control" baselines run.
+type Config struct {
+	// Source supplies the node current. If nil, a PVSource is assembled
+	// from Array and Profile (the common case).
+	Source Source
+	// Array is the PV source model (used when Source is nil).
+	Array *pv.Array
+	// Profile drives irradiance over time (used when Source is nil).
+	Profile pv.Profile
+	// Capacitance is the buffer capacitor in farads (paper: 47 mF).
+	Capacitance float64
+	// InitialVC is the capacitor voltage at t=0, volts.
+	InitialVC float64
+	// Platform is the simulated board. Its boot OPP is taken as already
+	// set by the caller via Reset.
+	Platform *soc.Platform
+
+	// Controller, when non-nil, runs the paper's power-neutral scheme.
+	Controller *core.Controller
+	// MonitorConfig configures the threshold interrupt hardware used by
+	// the controller (ignored in governor/static runs). Zero value means
+	// monitor.DefaultConfig().
+	MonitorConfig monitor.Config
+	// Governor, when non-nil, runs a Linux cpufreq baseline.
+	Governor governor.Governor
+
+	// Duration is the simulated time span, seconds.
+	Duration float64
+	// MaxStep bounds the ODE step so irradiance transients are resolved
+	// (default 0.25 s).
+	MaxStep float64
+	// BrownoutRestart re-boots the platform when Vc recovers above
+	// RestartVolts after a brownout. Default false: the board stays dead,
+	// matching the paper's Table II lifetime accounting.
+	BrownoutRestart bool
+	// RestartVolts is the recovery threshold (default 4.6 V).
+	RestartVolts float64
+	// RebootSeconds is how long a restart takes before work resumes
+	// (default 8 s, an ODROID Linux boot).
+	RebootSeconds float64
+	// RestartCooldown is the minimum off-time after a brownout before a
+	// restart is attempted — a supervisor back-off that prevents dawn/dusk
+	// boot loops (default 0: restart as soon as the supply recovers).
+	RestartCooldown float64
+
+	// TargetVolts is the nominal supply target used for stability metrics
+	// (default: the array's MPP voltage at standard irradiance).
+	TargetVolts float64
+	// AvailSamplePeriod is the sampling period of the available-power
+	// estimate trace (default 5 s; MPP solves are relatively costly).
+	AvailSamplePeriod float64
+	// RecordSeries enables time-series capture (default true via
+	// NewConfig-style literal use; set SkipSeries to disable).
+	SkipSeries bool
+}
+
+// Result carries everything the experiments need from one run.
+type Result struct {
+	// VC is the supply/capacitor voltage trace.
+	VC *trace.Series
+	// PowerConsumed is board+monitor power, watts.
+	PowerConsumed *trace.Series
+	// PowerAvailable is the estimated maximum extractable PV power.
+	PowerAvailable *trace.Series
+	// FreqGHz is the committed DVFS frequency trace.
+	FreqGHz *trace.Series
+	// LittleCores, BigCores and TotalCores are committed online-core
+	// traces.
+	LittleCores, BigCores, TotalCores *trace.Series
+
+	// Instructions and Frames are total completed work.
+	Instructions float64
+	Frames       float64
+	// LifetimeSeconds is accumulated alive time.
+	LifetimeSeconds float64
+	// FirstBrownout is the time of the first brownout; ok=false if none.
+	FirstBrownout float64
+	BrownedOut    bool
+	Brownouts     int
+	Restarts      int
+	// ControllerStats is populated for power-neutral runs.
+	ControllerStats core.Stats
+	// Interrupts is the number of serviced threshold interrupts.
+	Interrupts int
+	// CPUOverhead is the fraction of run time spent in the monitor ISR
+	// and SPI reprogramming (paper Fig. 15).
+	CPUOverhead float64
+	// MonitorPowerWatts is the static draw of the monitoring hardware.
+	MonitorPowerWatts float64
+	// GovernorTicks counts baseline-governor sampling ticks.
+	GovernorTicks int
+	// FinalVC is the supply voltage at the end of the run.
+	FinalVC float64
+	// TargetVolts echoes the stability target used.
+	TargetVolts float64
+}
+
+// StabilityWithin returns the fraction of the run the supply spent within
+// ±pct of the target voltage (the paper's headline 93.3% at 5%).
+func (r *Result) StabilityWithin(pct float64) float64 {
+	if r.VC == nil || r.VC.Len() == 0 {
+		return 0
+	}
+	f, err := r.VC.FractionWithinPercent(r.TargetVolts, pct)
+	if err != nil {
+		return 0
+	}
+	return f
+}
+
+// engine is the per-run mutable state.
+type engine struct {
+	cfg      Config
+	src      Source
+	pvSrc    *PVSource // non-nil when the source is photovoltaic
+	platform *soc.Platform
+	ctrl     *core.Controller
+	gov      governor.Governor
+	hw       *monitor.Hardware
+
+	vc        float64
+	now       float64
+	alive     bool
+	aliveFor  float64
+	deadSince float64
+	// instrBase and framesBase carry work completed before a brownout
+	// restart (platform.Reset zeroes the platform's own counters).
+	instrBase  float64
+	framesBase float64
+
+	res Result
+}
+
+// Run executes the configured simulation to completion.
+func Run(cfg Config) (*Result, error) {
+	if err := validate(&cfg); err != nil {
+		return nil, err
+	}
+	e := &engine{
+		cfg:      cfg,
+		src:      cfg.Source,
+		platform: cfg.Platform,
+		ctrl:     cfg.Controller,
+		gov:      cfg.Governor,
+		vc:       cfg.InitialVC,
+		alive:    true,
+	}
+	if p, ok := e.src.(PVSource); ok {
+		e.pvSrc = &p
+	} else if p, ok := e.src.(*PVSource); ok {
+		e.pvSrc = p
+	}
+	e.res.TargetVolts = cfg.TargetVolts
+	if !cfg.SkipSeries {
+		e.res.VC = trace.NewSeries("Vc", "V")
+		e.res.PowerConsumed = trace.NewSeries("Pconsumed", "W")
+		e.res.PowerAvailable = trace.NewSeries("Pavailable", "W")
+		e.res.FreqGHz = trace.NewSeries("frequency", "GHz")
+		e.res.LittleCores = trace.NewSeries("littleCores", "cores")
+		e.res.BigCores = trace.NewSeries("bigCores", "cores")
+		e.res.TotalCores = trace.NewSeries("totalCores", "cores")
+	}
+
+	if e.ctrl != nil {
+		mc := cfg.MonitorConfig
+		if mc == (monitor.Config{}) {
+			mc = monitor.DefaultConfig()
+		}
+		vh, vl := e.ctrl.Thresholds()
+		hw, err := monitor.NewHardware(mc, vh, vl)
+		if err != nil {
+			return nil, err
+		}
+		e.hw = hw
+		e.res.MonitorPowerWatts = hw.PowerWatts()
+	}
+
+	if err := e.run(); err != nil {
+		return nil, err
+	}
+
+	e.res.Instructions = e.instrBase + e.platform.Instructions()
+	e.res.Frames = e.framesBase + e.platform.Frames()
+	e.res.LifetimeSeconds = e.aliveFor
+	e.res.FinalVC = e.vc
+	if e.ctrl != nil {
+		e.res.ControllerStats = e.ctrl.Stats()
+		e.res.Interrupts = e.hw.Interrupts()
+		e.res.CPUOverhead = e.hw.CPUOverhead(cfg.Duration)
+	}
+	return &e.res, nil
+}
+
+func validate(cfg *Config) error {
+	if cfg.Source == nil {
+		if cfg.Array == nil || cfg.Profile == nil {
+			return errors.New("sim: set Config.Source, or Config.Array and Config.Profile")
+		}
+		if err := cfg.Array.Validate(); err != nil {
+			return err
+		}
+		cfg.Source = PVSource{Array: cfg.Array, Profile: cfg.Profile}
+	}
+	if cfg.Platform == nil {
+		return errors.New("sim: Config.Platform is required")
+	}
+	if cfg.Capacitance <= 0 {
+		return fmt.Errorf("sim: capacitance must be positive, got %g", cfg.Capacitance)
+	}
+	if cfg.Duration <= 0 {
+		return fmt.Errorf("sim: duration must be positive, got %g", cfg.Duration)
+	}
+	if cfg.InitialVC <= 0 {
+		return fmt.Errorf("sim: initial Vc must be positive, got %g", cfg.InitialVC)
+	}
+	if cfg.Controller != nil && cfg.Governor != nil {
+		return errors.New("sim: set at most one of Controller and Governor")
+	}
+	if cfg.MaxStep == 0 {
+		cfg.MaxStep = 0.25
+	}
+	if cfg.RestartVolts == 0 {
+		cfg.RestartVolts = 4.6
+	}
+	if cfg.RebootSeconds == 0 {
+		cfg.RebootSeconds = 8
+	}
+	if cfg.AvailSamplePeriod == 0 {
+		cfg.AvailSamplePeriod = 5
+	}
+	if cfg.TargetVolts == 0 {
+		if cfg.Array != nil {
+			m, err := cfg.Array.MaximumPowerPoint(pv.StandardIrradiance)
+			if err != nil {
+				return err
+			}
+			cfg.TargetVolts = m.V
+		} else {
+			cfg.TargetVolts = cfg.InitialVC
+		}
+	}
+	return nil
+}
+
+// rhs returns the supply-node derivative at (t, vc) for the current
+// discrete state.
+func (e *engine) rhs(t float64, y, dydt []float64) {
+	vc := y[0]
+	if vc < 0 {
+		vc = 0
+	}
+	isrc, err := e.src.Current(t, vc)
+	if err != nil {
+		// Out-of-range solves should not occur with validated params;
+		// treat as zero harvest rather than aborting mid-integration.
+		isrc = 0
+	}
+	iload := 0.0
+	if e.alive {
+		iload = e.platform.CurrentDraw(vc)
+		if e.hw != nil && vc > 0 {
+			iload += e.hw.PowerWatts() / vc
+		}
+	}
+	dydt[0] = (isrc - iload) / e.cfg.Capacitance
+	// The node voltage cannot discharge below zero (the array blocks
+	// reverse current physically; this guards numerical undershoot).
+	if y[0] <= 0 && dydt[0] < 0 {
+		dydt[0] = 0
+	}
+}
+
+// record samples every enabled series at (t, vc).
+func (e *engine) record(t, vc float64) {
+	if e.cfg.SkipSeries {
+		return
+	}
+	e.res.VC.Append(t, vc)
+	pw := 0.0
+	if e.alive {
+		pw = e.platform.PowerDraw()
+		if e.hw != nil {
+			pw += e.hw.PowerWatts()
+		}
+	}
+	e.res.PowerConsumed.Append(t, pw)
+	opp := e.platform.CommittedOPP()
+	e.res.FreqGHz.Append(t, opp.Frequency()/1e9)
+	e.res.LittleCores.Append(t, float64(opp.Config.Little))
+	e.res.BigCores.Append(t, float64(opp.Config.Big))
+	e.res.TotalCores.Append(t, float64(opp.Config.TotalCores()))
+
+	if e.pvSrc == nil {
+		return
+	}
+	if n := e.res.PowerAvailable.Len(); n == 0 {
+		e.appendAvailable(t)
+	} else if lt, _ := e.res.PowerAvailable.Last(); t-lt >= e.cfg.AvailSamplePeriod {
+		e.appendAvailable(t)
+	}
+}
+
+// appendAvailable records the PV array's instantaneous MPP power — the
+// paper's "estimated available harvested power" (Fig. 14).
+func (e *engine) appendAvailable(t float64) {
+	g := e.pvSrc.Profile.Irradiance(t)
+	p, err := e.pvSrc.Array.AvailablePower(g)
+	if err == nil {
+		e.res.PowerAvailable.Append(t, p)
+	}
+}
+
+// run is the outer discrete-event loop.
+func (e *engine) run() error {
+	tEnd := e.cfg.Duration
+	nextTick := 0.0 // governor tick time (governor mode only)
+	var rebootAt float64 = -1
+
+	for e.now < tEnd {
+		// Governor tick due exactly now.
+		if e.gov != nil && e.alive && e.now >= nextTick {
+			e.governorTick()
+			nextTick = e.now + e.gov.SamplingPeriod()
+		}
+		// Reboot due now — but only if the supply is still healthy; the
+		// harvest may have collapsed again during the cooldown, in which
+		// case we disarm and wait for the next recovery crossing.
+		if !e.alive && rebootAt >= 0 && e.now >= rebootAt {
+			rebootAt = -1
+			if e.vc >= e.cfg.RestartVolts {
+				e.reboot()
+				if e.gov != nil {
+					nextTick = e.now
+					continue
+				}
+			}
+		}
+
+		// Choose the next forced stop.
+		segEnd := tEnd
+		if e.gov != nil && e.alive && nextTick < segEnd {
+			segEnd = nextTick
+		}
+		if c, ok := e.platform.NextCompletion(); ok && e.alive && c < segEnd {
+			segEnd = c
+		}
+		if !e.alive && rebootAt >= 0 && rebootAt < segEnd {
+			segEnd = rebootAt
+		}
+		if segEnd <= e.now {
+			segEnd = math.Nextafter(e.now, math.Inf(1))
+		}
+
+		// Build events for this segment.
+		events := e.buildEvents()
+
+		y := []float64{e.vc}
+		onStep := func(t float64, y []float64) {
+			e.record(t, y[0])
+		}
+		res, err := ode.RK23(e.rhs, e.now, segEnd, y, ode.Options{
+			MaxStep: e.cfg.MaxStep,
+			RTol:    1e-6,
+			ATol:    1e-7,
+			Events:  events,
+			OnStep:  onStep,
+		})
+		if err != nil {
+			return fmt.Errorf("sim: integration failed at t=%g: %w", e.now, err)
+		}
+		// Account alive time across the integrated span.
+		if e.alive {
+			e.aliveFor += res.T - e.now
+		}
+		e.now = res.T
+		e.vc = y[0]
+		if e.alive {
+			if err := e.platform.Advance(e.now); err != nil {
+				return err
+			}
+		}
+
+		if res.Stopped {
+			// A terminal event fired: find it (the last hit).
+			hit := res.Hits[len(res.Hits)-1]
+			switch hit.Name {
+			case "brownout":
+				e.brownout()
+			case "recover":
+				rebootAt = e.now + e.cfg.RebootSeconds
+				if earliest := e.deadSince + e.cfg.RestartCooldown; rebootAt < earliest {
+					rebootAt = earliest
+				}
+			case "vlow":
+				if err := e.onThresholdInterrupt(core.CrossLow); err != nil {
+					return err
+				}
+			case "vhigh":
+				if err := e.onThresholdInterrupt(core.CrossHigh); err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("sim: unknown terminal event %q", hit.Name)
+			}
+		}
+
+		// Brownouts that slip through unmonitored intervals (e.g. the
+		// interrupt-delay integration) are caught by a level check.
+		if e.alive && e.vc < soc.MinOperatingVolts-1e-6 {
+			e.brownout()
+		}
+
+		// Replay crossings latched while the platform was busy: once the
+		// actuation completes, the comparator outputs are level-checked
+		// and any asserted threshold is serviced immediately. Each service
+		// slides the thresholds by Vq, so this loop terminates.
+		for e.ctrl != nil && e.alive {
+			if e.vc < soc.MinOperatingVolts-1e-6 {
+				e.brownout()
+				break
+			}
+			if _, busy := e.platform.NextCompletion(); busy {
+				break
+			}
+			if e.vc <= e.hw.Low.Threshold() {
+				if err := e.onThresholdInterrupt(core.CrossLow); err != nil {
+					return err
+				}
+			} else if e.vc >= e.hw.High.Threshold() {
+				if err := e.onThresholdInterrupt(core.CrossHigh); err != nil {
+					return err
+				}
+			} else {
+				break
+			}
+		}
+	}
+	// Final bookkeeping sample.
+	e.record(e.now, e.vc)
+	return nil
+}
+
+// buildEvents assembles the ODE event set for the current discrete state.
+func (e *engine) buildEvents() []ode.Event {
+	var evs []ode.Event
+	if e.alive {
+		evs = append(evs, ode.Event{
+			Name:      "brownout",
+			G:         func(_ float64, y []float64) float64 { return y[0] - soc.MinOperatingVolts },
+			Direction: -1,
+			Terminal:  true,
+		})
+		// Threshold interrupts are only armed while the platform is idle:
+		// the real ISR performs the cpufreq/hot-plug syscalls synchronously,
+		// so crossings during an actuation are latched, not serviced. The
+		// post-actuation level check in run() replays a latched crossing.
+		_, busy := e.platform.NextCompletion()
+		if e.ctrl != nil && e.hw != nil && !busy {
+			vl := e.hw.Low.Threshold()
+			vh := e.hw.High.Threshold()
+			evs = append(evs, ode.Event{
+				Name:      "vlow",
+				G:         func(_ float64, y []float64) float64 { return y[0] - vl },
+				Direction: -1,
+				Terminal:  true,
+			}, ode.Event{
+				Name:      "vhigh",
+				G:         func(_ float64, y []float64) float64 { return y[0] - vh },
+				Direction: +1,
+				Terminal:  true,
+			})
+		}
+	} else if e.cfg.BrownoutRestart {
+		rv := e.cfg.RestartVolts
+		evs = append(evs, ode.Event{
+			Name:      "recover",
+			G:         func(_ float64, y []float64) float64 { return y[0] - rv },
+			Direction: +1,
+			Terminal:  true,
+		})
+	}
+	return evs
+}
+
+// governorTick samples the governor and actuates its decision.
+func (e *engine) governorTick() {
+	st := governor.State{
+		Load:        e.platform.Utilisation(),
+		OPP:         e.platform.CommittedOPP(),
+		SupplyVolts: e.vc,
+	}
+	target := e.gov.Decide(e.now, st).Clamp()
+	if target != e.platform.CommittedOPP() {
+		// Linux governors sequence frequency before cores; they never
+		// change cores anyway.
+		_, err := e.platform.RequestOPP(target, e.now, soc.FreqFirst)
+		_ = err // cannot fail for valid adjacent targets; dead platform is guarded by caller
+	}
+	e.res.GovernorTicks++
+}
+
+// onThresholdInterrupt services a Vlow/Vhigh crossing: integrates the
+// interrupt latency, runs the controller, actuates the OPP change and
+// reprograms the monitor thresholds.
+func (e *engine) onThresholdInterrupt(which core.Crossing) error {
+	ch := e.hw.Low
+	if which == core.CrossHigh {
+		ch = e.hw.High
+	}
+	// The analogue crossing has happened; the ISR runs after the
+	// propagation + dispatch delay. Integrate the supply through the
+	// delay without threshold events (the hardware latches the edge).
+	delay := ch.InterruptDelay()
+	if delay > 0 {
+		y := []float64{e.vc}
+		res, err := ode.RK23(e.rhs, e.now, e.now+delay, y, ode.Options{
+			MaxStep: e.cfg.MaxStep,
+			RTol:    1e-6,
+			ATol:    1e-7,
+		})
+		if err != nil {
+			return fmt.Errorf("sim: interrupt-delay integration failed: %w", err)
+		}
+		e.aliveFor += res.T - e.now
+		e.now = res.T
+		e.vc = y[0]
+		if err := e.platform.Advance(e.now); err != nil {
+			return err
+		}
+	}
+	e.hw.RecordInterrupt()
+
+	d := e.ctrl.OnCrossing(which, e.now)
+	// Actuate the OPP change.
+	if d.Target != e.platform.CommittedOPP() {
+		if _, err := e.platform.RequestOPP(d.Target, e.now, d.Order); err != nil {
+			return err
+		}
+	}
+	// Reprogram both threshold channels with the slid values.
+	e.hw.High.Program(d.VHigh)
+	e.hw.RecordProgramming()
+	e.hw.Low.Program(d.VLow)
+	e.hw.RecordProgramming()
+	e.record(e.now, e.vc)
+	return nil
+}
+
+// brownout powers the board down.
+func (e *engine) brownout() {
+	e.alive = false
+	e.deadSince = e.now
+	e.platform.Kill()
+	e.res.Brownouts++
+	if !e.res.BrownedOut {
+		e.res.BrownedOut = true
+		e.res.FirstBrownout = e.now
+	}
+	e.record(e.now, e.vc)
+}
+
+// reboot restarts the platform at the minimal OPP and re-centres the
+// controller thresholds.
+func (e *engine) reboot() {
+	// Preserve work completed before the restart; Reset zeroes the
+	// platform counters.
+	e.instrBase += e.platform.Instructions()
+	e.framesBase += e.platform.Frames()
+	e.platform.Reset(e.now, soc.MinOPP())
+	e.alive = true
+	e.res.Restarts++
+	if e.ctrl != nil {
+		e.ctrl.Recalibrate(e.vc)
+		e.ctrl.SetOPP(soc.MinOPP())
+		vh, vl := e.ctrl.Thresholds()
+		e.hw.High.Program(vh)
+		e.hw.Low.Program(vl)
+	}
+	if e.gov != nil {
+		e.gov.Reset()
+	}
+	e.record(e.now, e.vc)
+}

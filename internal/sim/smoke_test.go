@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"testing"
+
+	"pnps/internal/core"
+	"pnps/internal/pv"
+	"pnps/internal/soc"
+)
+
+// TestSmokeFullSunController runs the full closed loop for a simulated
+// minute under constant full sun and checks the headline behaviours: the
+// board survives, does useful work, and the supply stabilises near the
+// array's maximum power point.
+func TestSmokeFullSunController(t *testing.T) {
+	arr := pv.SouthamptonArray()
+	mpp, err := arr.MaximumPowerPoint(pv.StandardIrradiance)
+	if err != nil {
+		t.Fatalf("MPP: %v", err)
+	}
+	t.Logf("array MPP: %.3f V, %.3f A, %.3f W", mpp.V, mpp.I, mpp.P)
+
+	plat := soc.NewDefaultPlatform()
+	plat.Reset(0, soc.MinOPP())
+	ctrl, err := core.New(core.DefaultParams(), mpp.V, soc.MinOPP(), 0)
+	if err != nil {
+		t.Fatalf("controller: %v", err)
+	}
+	res, err := Run(Config{
+		Array:       arr,
+		Profile:     pv.Constant(pv.StandardIrradiance),
+		Capacitance: 47e-3,
+		InitialVC:   mpp.V,
+		Platform:    plat,
+		Controller:  ctrl,
+		Duration:    60,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	t.Logf("brownouts=%d interrupts=%d instr=%.3g finalVC=%.3f stability(5%%)=%.3f",
+		res.Brownouts, res.Interrupts, res.Instructions, res.FinalVC, res.StabilityWithin(0.05))
+	t.Logf("controller stats: %+v", res.ControllerStats)
+	t.Logf("final committed OPP: %v", plat.CommittedOPP())
+
+	if res.BrownedOut {
+		t.Errorf("board browned out at t=%.2f s under full sun", res.FirstBrownout)
+	}
+	if res.Instructions <= 0 {
+		t.Errorf("no work completed")
+	}
+	if res.Interrupts == 0 {
+		t.Errorf("controller never received a threshold interrupt")
+	}
+	if s := res.StabilityWithin(0.10); s < 0.5 {
+		t.Errorf("supply spent only %.1f%% of the run within 10%% of MPP voltage", 100*s)
+	}
+}

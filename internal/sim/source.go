@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"pnps/internal/pv"
+)
+
+// Source supplies current into the capacitor/supply node. The engine
+// integrates C·dVc/dt = Source.Current(t, Vc) − Iload(Vc).
+type Source interface {
+	// Current returns the current flowing into the supply node in amps
+	// at time t with node voltage vc.
+	Current(t, vc float64) (float64, error)
+}
+
+// PVSource is the paper's harvesting source: a PV array driven by an
+// irradiance profile (Fig. 8).
+type PVSource struct {
+	Array   *pv.Array
+	Profile pv.Profile
+}
+
+// Current implements Source.
+func (s PVSource) Current(t, vc float64) (float64, error) {
+	return s.Array.CurrentAt(vc, s.Profile.Irradiance(t))
+}
+
+// VPoint is one (time, volts) waypoint of a bench-supply sequence.
+type VPoint struct {
+	T float64
+	V float64
+}
+
+// VoltageSource models the controlled variable supply of the paper's
+// Fig. 11 experiments: an ideal voltage source following piecewise-linear
+// waypoints behind a small series (output) resistance.
+type VoltageSource struct {
+	// Points are the setpoint waypoints; voltage is interpolated
+	// linearly between them and clamped outside the span. Must be
+	// time-sorted (NewVoltageSource sorts).
+	Points []VPoint
+	// SeriesOhms is the source output resistance (must be positive).
+	SeriesOhms float64
+}
+
+// NewVoltageSource builds a bench supply from waypoints.
+func NewVoltageSource(seriesOhms float64, points ...VPoint) (*VoltageSource, error) {
+	if seriesOhms <= 0 {
+		return nil, fmt.Errorf("sim: series resistance must be positive, got %g", seriesOhms)
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("sim: voltage source needs at least one waypoint")
+	}
+	ps := append([]VPoint(nil), points...)
+	sort.SliceStable(ps, func(i, j int) bool { return ps[i].T < ps[j].T })
+	return &VoltageSource{Points: ps, SeriesOhms: seriesOhms}, nil
+}
+
+// Setpoint returns the interpolated supply setpoint at time t.
+func (s *VoltageSource) Setpoint(t float64) float64 {
+	ps := s.Points
+	if t <= ps[0].T {
+		return ps[0].V
+	}
+	if t >= ps[len(ps)-1].T {
+		return ps[len(ps)-1].V
+	}
+	i := sort.Search(len(ps), func(k int) bool { return ps[k].T > t }) - 1
+	p0, p1 := ps[i], ps[i+1]
+	if p1.T == p0.T {
+		return p1.V
+	}
+	frac := (t - p0.T) / (p1.T - p0.T)
+	return p0.V + frac*(p1.V-p0.V)
+}
+
+// Current implements Source.
+func (s *VoltageSource) Current(t, vc float64) (float64, error) {
+	return (s.Setpoint(t) - vc) / s.SeriesOhms, nil
+}

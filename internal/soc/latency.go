@@ -1,0 +1,126 @@
+package soc
+
+import (
+	"fmt"
+	"math"
+)
+
+// LatencyModel computes OPP-transition latencies, calibrated to the
+// paper's Fig. 10:
+//
+//   - Core hot-plug latency falls with operating frequency (the kernel's
+//     hot-plug path executes on the CPU) and grows mildly with the number
+//     of cores already online: ≈40 ms at 200 MHz down to ≈10 ms at 1.4 GHz.
+//     Toggling a big core costs slightly more than a LITTLE core (cluster
+//     power-up sequencing).
+//   - A single DVFS step costs 1–3 ms, growing with the number of online
+//     cores (more CPUs to synchronise) and slightly higher when the big
+//     cluster is active.
+type LatencyModel struct {
+	// HotplugBase is the hot-plug latency at 1.4 GHz for the first core
+	// transition, seconds.
+	HotplugBase float64
+	// HotplugPerCore adds latency per core already online.
+	HotplugPerCore float64
+	// HotplugBigFactor multiplies the latency when the toggled core is a
+	// big (A15) core.
+	HotplugBigFactor float64
+	// HotplugFreqExp scales latency by (fmax/f)^exp.
+	HotplugFreqExp float64
+	// DVFSBase is the frequency-step latency with one core online, seconds.
+	DVFSBase float64
+	// DVFSPerCore adds latency per additional online core, seconds.
+	DVFSPerCore float64
+	// DVFSBigExtra adds cross-cluster synchronisation cost when any big
+	// core is online, seconds.
+	DVFSBigExtra float64
+	// DVFSDownFactor scales down-steps relative to up-steps (clock
+	// down-shifts complete slightly faster; Fig. 10 bottom).
+	DVFSDownFactor float64
+}
+
+// DefaultLatencyModel returns coefficients calibrated to Fig. 10.
+func DefaultLatencyModel() *LatencyModel {
+	return &LatencyModel{
+		HotplugBase:      5.0e-3,
+		HotplugPerCore:   0.5e-3,
+		HotplugBigFactor: 1.15,
+		HotplugFreqExp:   0.78,
+		DVFSBase:         0.9e-3,
+		DVFSPerCore:      0.25e-3,
+		DVFSBigExtra:     0.3e-3,
+		DVFSDownFactor:   0.85,
+	}
+}
+
+// Validate checks the plausibility of the coefficients.
+func (m *LatencyModel) Validate() error {
+	if m.HotplugBase <= 0 || m.DVFSBase <= 0 {
+		return fmt.Errorf("soc: latency base coefficients must be positive")
+	}
+	if m.HotplugBigFactor <= 0 || m.DVFSDownFactor <= 0 {
+		return fmt.Errorf("soc: latency factors must be positive")
+	}
+	if m.HotplugPerCore < 0 || m.DVFSPerCore < 0 || m.DVFSBigExtra < 0 {
+		return fmt.Errorf("soc: latency increments must be non-negative")
+	}
+	return nil
+}
+
+// HotplugLatency returns the latency in seconds of a single-core hot-plug
+// step from config from to config to (exactly one core added or removed)
+// while running at frequency level freqIdx.
+func (m *LatencyModel) HotplugLatency(from, to CoreConfig, freqIdx int) (float64, error) {
+	dl := to.Little - from.Little
+	db := to.Big - from.Big
+	if abs(dl)+abs(db) != 1 {
+		return 0, fmt.Errorf("soc: hot-plug transition %v->%v is not a single-core step", from, to)
+	}
+	if !from.Valid() || !to.Valid() {
+		return 0, fmt.Errorf("soc: hot-plug transition %v->%v leaves the platform envelope", from, to)
+	}
+	if freqIdx < 0 || freqIdx >= NumFrequencyLevels {
+		return 0, fmt.Errorf("soc: frequency level %d out of range", freqIdx)
+	}
+	f := FrequencyLevels()[freqIdx]
+	fmax := FrequencyLevels()[NumFrequencyLevels-1]
+	online := from.TotalCores()
+	if to.TotalCores() > online {
+		online = to.TotalCores()
+	}
+	lat := (m.HotplugBase + m.HotplugPerCore*float64(online-1)) * math.Pow(fmax/f, m.HotplugFreqExp)
+	if db != 0 {
+		lat *= m.HotplugBigFactor
+	}
+	return lat, nil
+}
+
+// DVFSLatency returns the latency in seconds of one frequency-ladder step
+// (fromIdx -> toIdx must be adjacent) with the given core configuration
+// online.
+func (m *LatencyModel) DVFSLatency(fromIdx, toIdx int, cfg CoreConfig) (float64, error) {
+	if d := toIdx - fromIdx; d != 1 && d != -1 {
+		return 0, fmt.Errorf("soc: DVFS transition %d->%d is not a single ladder step", fromIdx, toIdx)
+	}
+	if fromIdx < 0 || toIdx < 0 || fromIdx >= NumFrequencyLevels || toIdx >= NumFrequencyLevels {
+		return 0, fmt.Errorf("soc: DVFS transition %d->%d out of range", fromIdx, toIdx)
+	}
+	if !cfg.Valid() {
+		return 0, fmt.Errorf("soc: DVFS step with invalid config %v", cfg)
+	}
+	lat := m.DVFSBase + m.DVFSPerCore*float64(cfg.TotalCores()-1)
+	if cfg.Big > 0 {
+		lat += m.DVFSBigExtra
+	}
+	if toIdx < fromIdx {
+		lat *= m.DVFSDownFactor
+	}
+	return lat, nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

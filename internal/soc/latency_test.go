@@ -1,0 +1,146 @@
+package soc
+
+import (
+	"testing"
+)
+
+func TestHotplugLatencyCalibration(t *testing.T) {
+	lm := DefaultLatencyModel()
+	if err := lm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Paper Fig. 10 top: ≈10 ms at 1.4 GHz up to ≈40 ms at 200 MHz.
+	fast, err := lm.HotplugLatency(CoreConfig{Little: 1}, CoreConfig{Little: 2}, NumFrequencyLevels-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast < 3e-3 || fast > 15e-3 {
+		t.Errorf("hot-plug at 1.4 GHz = %.1f ms, want ≈10 ms band", fast*1e3)
+	}
+	slow, err := lm.HotplugLatency(CoreConfig{Little: 4, Big: 3}, CoreConfig{Little: 4, Big: 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow < 20e-3 || slow > 60e-3 {
+		t.Errorf("hot-plug at 200 MHz = %.1f ms, want ≈40 ms band", slow*1e3)
+	}
+	if slow <= fast {
+		t.Error("hot-plug must slow down at low frequency")
+	}
+}
+
+func TestHotplugLatencyGrowsWithOnlineCores(t *testing.T) {
+	lm := DefaultLatencyModel()
+	ladder := ConfigLadder()
+	prev := 0.0
+	for i := 0; i+1 < len(ladder); i++ {
+		lat, err := lm.HotplugLatency(ladder[i], ladder[i+1], 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The big-factor makes the 3->4 to 4->5 step jump; within a
+		// cluster the latency grows monotonically.
+		if i != 3 && lat <= prev {
+			t.Errorf("latency at ladder step %d (%.2f ms) not above previous (%.2f ms)",
+				i, lat*1e3, prev*1e3)
+		}
+		prev = lat
+	}
+}
+
+func TestHotplugLatencyErrors(t *testing.T) {
+	lm := DefaultLatencyModel()
+	// Two-core jump.
+	if _, err := lm.HotplugLatency(CoreConfig{Little: 1}, CoreConfig{Little: 3}, 0); err == nil {
+		t.Error("multi-core step accepted")
+	}
+	// Simultaneous change of both clusters.
+	if _, err := lm.HotplugLatency(CoreConfig{Little: 1}, CoreConfig{Little: 2, Big: 1}, 0); err == nil {
+		t.Error("diagonal step accepted")
+	}
+	// No change.
+	if _, err := lm.HotplugLatency(CoreConfig{Little: 2}, CoreConfig{Little: 2}, 0); err == nil {
+		t.Error("no-op step accepted")
+	}
+	// Bad frequency index.
+	if _, err := lm.HotplugLatency(CoreConfig{Little: 1}, CoreConfig{Little: 2}, 99); err == nil {
+		t.Error("bad frequency index accepted")
+	}
+	// Leaving the envelope.
+	if _, err := lm.HotplugLatency(CoreConfig{Little: 4, Big: 4}, CoreConfig{Little: 4, Big: 5}, 0); err == nil {
+		t.Error("out-of-envelope target accepted")
+	}
+}
+
+func TestDVFSLatencyCalibration(t *testing.T) {
+	lm := DefaultLatencyModel()
+	// Paper Fig. 10 bottom: ≈1–3 ms.
+	for _, cfg := range []CoreConfig{{Little: 1}, {Little: 4}, {Little: 4, Big: 4}} {
+		up, err := lm.DVFSLatency(0, 1, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if up < 0.5e-3 || up > 3.5e-3 {
+			t.Errorf("%v DVFS up = %.2f ms, want 1-3 ms band", cfg, up*1e3)
+		}
+		down, err := lm.DVFSLatency(1, 0, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if down >= up {
+			t.Errorf("%v: down-step (%.2f ms) should be faster than up (%.2f ms)",
+				cfg, down*1e3, up*1e3)
+		}
+	}
+}
+
+func TestDVFSLatencyGrowsWithCores(t *testing.T) {
+	lm := DefaultLatencyModel()
+	l1, _ := lm.DVFSLatency(0, 1, CoreConfig{Little: 1})
+	l8, _ := lm.DVFSLatency(0, 1, CoreConfig{Little: 4, Big: 4})
+	if l8 <= l1 {
+		t.Errorf("DVFS with 8 cores (%.2f ms) should exceed 1 core (%.2f ms)", l8*1e3, l1*1e3)
+	}
+}
+
+func TestDVFSLatencyErrors(t *testing.T) {
+	lm := DefaultLatencyModel()
+	if _, err := lm.DVFSLatency(0, 2, CoreConfig{Little: 1}); err == nil {
+		t.Error("multi-level step accepted")
+	}
+	if _, err := lm.DVFSLatency(7, 8, CoreConfig{Little: 1}); err == nil {
+		t.Error("out-of-range step accepted")
+	}
+	if _, err := lm.DVFSLatency(0, 1, CoreConfig{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestLatencyValidation(t *testing.T) {
+	bad := DefaultLatencyModel()
+	bad.HotplugBase = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero base accepted")
+	}
+	bad2 := DefaultLatencyModel()
+	bad2.DVFSDownFactor = -1
+	if err := bad2.Validate(); err == nil {
+		t.Error("negative factor accepted")
+	}
+	bad3 := DefaultLatencyModel()
+	bad3.HotplugPerCore = -1
+	if err := bad3.Validate(); err == nil {
+		t.Error("negative increment accepted")
+	}
+}
+
+func TestHotplugDVFSLatencyOrdering(t *testing.T) {
+	// The premise of the paper's control split (Section II-B): DVFS is
+	// much faster than hot-plugging, so DVFS handles micro variation.
+	lm := DefaultLatencyModel()
+	dvfs, _ := lm.DVFSLatency(4, 3, CoreConfig{Little: 4, Big: 4})
+	hot, _ := lm.HotplugLatency(CoreConfig{Little: 4, Big: 4}, CoreConfig{Little: 4, Big: 3}, 4)
+	if hot < 3*dvfs {
+		t.Errorf("hot-plug (%.2f ms) should dominate DVFS (%.2f ms)", hot*1e3, dvfs*1e3)
+	}
+}

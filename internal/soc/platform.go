@@ -1,0 +1,385 @@
+package soc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Operating voltage envelope of the ODROID-XU4 board (paper Section IV).
+const (
+	// MinOperatingVolts is the brownout threshold: below this the board
+	// resets (4.1 V).
+	MinOperatingVolts = 4.1
+	// MaxOperatingVolts is the absolute maximum supply voltage (5.7 V).
+	MaxOperatingVolts = 5.7
+)
+
+// TransitionOrder selects how a multi-dimensional OPP change is sequenced
+// (paper Table I).
+type TransitionOrder int
+
+const (
+	// CoreFirst performs hot-plug steps before frequency steps when
+	// scaling down (and frequency before cores when scaling up). This is
+	// the paper's scenario (b), the one it selects: it sheds the
+	// expensive cores at a still-high frequency where hot-plugging is
+	// fast.
+	CoreFirst TransitionOrder = iota
+	// FreqFirst performs frequency steps before hot-plug steps when
+	// scaling down — the paper's slower scenario (a).
+	FreqFirst
+)
+
+// String implements fmt.Stringer.
+func (o TransitionOrder) String() string {
+	switch o {
+	case CoreFirst:
+		return "core-first"
+	case FreqFirst:
+		return "frequency-first"
+	default:
+		return fmt.Sprintf("TransitionOrder(%d)", int(o))
+	}
+}
+
+// atomicStep is a single DVFS or hot-plug step being executed.
+type atomicStep struct {
+	from, to   OPP
+	start, end float64
+	isHotplug  bool
+}
+
+// Platform is the simulated ODROID-XU4: it tracks the current OPP, pending
+// transitions, liveness, and accumulated work. All times are simulation
+// seconds. The zero value is not usable; construct with NewPlatform or
+// NewDefaultPlatform.
+type Platform struct {
+	Power   *PowerModel
+	Perf    *PerfModel
+	Latency *LatencyModel
+
+	cur         OPP // OPP whose power applies right now (head of queue aside)
+	committed   OPP // OPP at the end of the pending queue
+	queue       []atomicStep
+	utilisation float64
+	alive       bool
+	now         float64
+
+	instructions float64
+	frames       float64
+	busySeconds  float64 // time spent inside transitions
+	dvfsSteps    int
+	hotplugSteps int
+	lastAccrue   float64
+}
+
+// NewPlatform builds a platform from explicit models, validating them.
+func NewPlatform(pm *PowerModel, pf *PerfModel, lm *LatencyModel) (*Platform, error) {
+	if pm == nil || pf == nil || lm == nil {
+		return nil, errors.New("soc: NewPlatform requires all three models")
+	}
+	if err := pm.Validate(); err != nil {
+		return nil, err
+	}
+	if err := pf.Validate(); err != nil {
+		return nil, err
+	}
+	if err := lm.Validate(); err != nil {
+		return nil, err
+	}
+	return &Platform{
+		Power:       pm,
+		Perf:        pf,
+		Latency:     lm,
+		cur:         MinOPP(),
+		committed:   MinOPP(),
+		utilisation: 1,
+		alive:       true,
+	}, nil
+}
+
+// NewDefaultPlatform builds a platform with the calibrated Exynos5422
+// models.
+func NewDefaultPlatform() *Platform {
+	p, err := NewPlatform(DefaultPowerModel(), DefaultPerfModel(), DefaultLatencyModel())
+	if err != nil {
+		panic("soc: default models invalid: " + err.Error())
+	}
+	return p
+}
+
+// Reset restores boot state at time t: the boot OPP, alive, counters
+// zeroed.
+func (p *Platform) Reset(t float64, boot OPP) {
+	p.cur = boot.Clamp()
+	p.committed = p.cur
+	p.queue = nil
+	p.alive = true
+	p.now = t
+	p.lastAccrue = t
+	p.instructions = 0
+	p.frames = 0
+	p.busySeconds = 0
+	p.dvfsSteps = 0
+	p.hotplugSteps = 0
+	p.utilisation = 1
+}
+
+// Advance moves simulation time forward to now, completing any transitions
+// that finish on the way and accruing workload progress. Calling with a
+// time before the current time is an error.
+func (p *Platform) Advance(now float64) error {
+	if now < p.now {
+		return fmt.Errorf("soc: Advance to t=%g before current t=%g", now, p.now)
+	}
+	for len(p.queue) > 0 && p.queue[0].end <= now {
+		st := p.queue[0]
+		p.queue = p.queue[1:]
+		// No workload progress during the step itself.
+		p.busySeconds += st.end - st.start
+		p.cur = st.to
+		p.lastAccrue = st.end
+	}
+	if p.alive && (len(p.queue) == 0 || now < p.queue[0].start) {
+		dt := now - p.lastAccrue
+		if dt > 0 {
+			ips := p.Perf.InstructionsPerSecond(p.cur) * p.utilisation
+			p.instructions += ips * dt
+			p.frames += ips * dt / p.Perf.InstructionsPerFrame
+		}
+	}
+	p.lastAccrue = now
+	p.now = now
+	return nil
+}
+
+// Now returns the platform's current simulation time.
+func (p *Platform) Now() float64 { return p.now }
+
+// SetUtilisation sets workload CPU utilisation (clamped to [0,1]).
+func (p *Platform) SetUtilisation(u float64) {
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1
+	}
+	p.utilisation = u
+}
+
+// Utilisation returns the configured workload utilisation.
+func (p *Platform) Utilisation() float64 { return p.utilisation }
+
+// Alive reports whether the board is powered and running.
+func (p *Platform) Alive() bool { return p.alive }
+
+// Kill powers the board off (brownout). Pending transitions are dropped.
+func (p *Platform) Kill() {
+	p.alive = false
+	p.queue = nil
+}
+
+// EffectiveOPP returns the OPP whose performance applies right now.
+func (p *Platform) EffectiveOPP() OPP { return p.cur }
+
+// CommittedOPP returns the OPP the platform will reach once all pending
+// transitions complete.
+func (p *Platform) CommittedOPP() OPP { return p.committed }
+
+// InTransition reports whether an OPP change is in flight at time p.Now().
+func (p *Platform) InTransition() bool {
+	return len(p.queue) > 0 && p.now >= p.queue[0].start
+}
+
+// TransitionEnd returns the completion time of the last queued step and
+// ok=false when the queue is empty.
+func (p *Platform) TransitionEnd() (float64, bool) {
+	if len(p.queue) == 0 {
+		return 0, false
+	}
+	return p.queue[len(p.queue)-1].end, true
+}
+
+// NextCompletion returns the completion time of the step currently at the
+// head of the queue, and ok=false when idle.
+func (p *Platform) NextCompletion() (float64, bool) {
+	if len(p.queue) == 0 {
+		return 0, false
+	}
+	return p.queue[0].end, true
+}
+
+// PowerDraw returns board power in watts at the current instant. During a
+// transition the larger of the two endpoint powers applies: when shedding
+// load the old cores stay powered until the step completes, and when
+// adding load the incoming OPP dominates as soon as the step begins.
+func (p *Platform) PowerDraw() float64 {
+	if !p.alive {
+		return 0
+	}
+	if len(p.queue) > 0 && p.now >= p.queue[0].start {
+		st := p.queue[0]
+		pf := p.Power.Power(st.from, p.utilisation)
+		pt := p.Power.Power(st.to, p.utilisation)
+		if pt > pf {
+			return pt
+		}
+		return pf
+	}
+	return p.Power.Power(p.cur, p.utilisation)
+}
+
+// CurrentDraw returns supply current in amps at supply voltage v,
+// modelling the regulator as a constant-power load. Below a deep
+// under-voltage lockout the regulator stops switching and the draw
+// collapses resistively instead of demanding unbounded current.
+func (p *Platform) CurrentDraw(v float64) float64 {
+	if v <= 0 || !p.alive {
+		return 0
+	}
+	const uvlo = 2.0 // volts; well below the 4.1 V brownout threshold
+	if v < uvlo {
+		return p.PowerDraw() / uvlo * (v / uvlo)
+	}
+	return p.PowerDraw() / v
+}
+
+// Instructions returns total completed instructions.
+func (p *Platform) Instructions() float64 { return p.instructions }
+
+// Frames returns total completed rendered frames.
+func (p *Platform) Frames() float64 { return p.frames }
+
+// BusySeconds returns cumulative time spent inside OPP transitions.
+func (p *Platform) BusySeconds() float64 { return p.busySeconds }
+
+// TransitionCounts returns the number of DVFS and hot-plug steps executed
+// or queued so far.
+func (p *Platform) TransitionCounts() (dvfs, hotplug int) {
+	return p.dvfsSteps, p.hotplugSteps
+}
+
+// RequestOPP queues the atomic steps to move from the committed OPP to
+// target, ordered per order, starting no earlier than now (steps queue
+// behind any in-flight transition). It returns the predicted completion
+// time. Requesting the committed OPP is a no-op returning now.
+func (p *Platform) RequestOPP(target OPP, now float64, order TransitionOrder) (completion float64, err error) {
+	if !p.alive {
+		return now, errors.New("soc: platform is powered off")
+	}
+	if !target.Valid() {
+		return now, fmt.Errorf("soc: invalid target OPP %+v", target)
+	}
+	if now < p.now {
+		return now, fmt.Errorf("soc: RequestOPP at t=%g before current t=%g", now, p.now)
+	}
+	if target == p.committed {
+		if end, ok := p.TransitionEnd(); ok {
+			return end, nil
+		}
+		return now, nil
+	}
+	start := now
+	if end, ok := p.TransitionEnd(); ok && end > start {
+		start = end
+	}
+	steps, err := planSteps(p.committed, target, order)
+	if err != nil {
+		return now, err
+	}
+	t := start
+	for _, s := range steps {
+		var lat float64
+		if s.isHotplug {
+			lat, err = p.Latency.HotplugLatency(s.from.Config, s.to.Config, s.from.FreqIdx)
+			p.hotplugSteps++
+		} else {
+			lat, err = p.Latency.DVFSLatency(s.from.FreqIdx, s.to.FreqIdx, s.from.Config)
+			p.dvfsSteps++
+		}
+		if err != nil {
+			return now, err
+		}
+		p.queue = append(p.queue, atomicStep{from: s.from, to: s.to, start: t, end: t + lat, isHotplug: s.isHotplug})
+		t += lat
+	}
+	p.committed = target
+	return t, nil
+}
+
+// stepPlan is a latency-free description of one atomic step.
+type stepPlan struct {
+	from, to  OPP
+	isHotplug bool
+}
+
+// planSteps decomposes from->to into single-unit steps in the requested
+// order. Scaling down, CoreFirst sheds cores (big before LITTLE) before
+// dropping frequency; FreqFirst is the reverse. Scaling up mirrors:
+// CoreFirst raises frequency before adding cores, FreqFirst adds cores
+// (LITTLE before big) first.
+func planSteps(from, to OPP, order TransitionOrder) ([]stepPlan, error) {
+	if !from.Valid() || !to.Valid() {
+		return nil, fmt.Errorf("soc: invalid OPP in transition %v -> %v", from, to)
+	}
+	// Build the individual moves for each dimension.
+	type move struct {
+		dFreq, dLittle, dBig int
+	}
+	var freqMoves, coreMoves []move
+	for i := from.FreqIdx; i != to.FreqIdx; {
+		if to.FreqIdx > i {
+			freqMoves = append(freqMoves, move{dFreq: 1})
+			i++
+		} else {
+			freqMoves = append(freqMoves, move{dFreq: -1})
+			i--
+		}
+	}
+	// Core moves: when shedding, drop big cores first (they cost the most
+	// power); when adding, bring up LITTLE cores first (cheapest power for
+	// the earliest throughput).
+	dl := to.Config.Little - from.Config.Little
+	db := to.Config.Big - from.Config.Big
+	for i := 0; i < -db; i++ {
+		coreMoves = append(coreMoves, move{dBig: -1})
+	}
+	for i := 0; i < -dl; i++ {
+		coreMoves = append(coreMoves, move{dLittle: -1})
+	}
+	for i := 0; i < dl; i++ {
+		coreMoves = append(coreMoves, move{dLittle: 1})
+	}
+	for i := 0; i < db; i++ {
+		coreMoves = append(coreMoves, move{dBig: 1})
+	}
+
+	scalingDown := to.Config.TotalCores() < from.Config.TotalCores() ||
+		(to.Config.TotalCores() == from.Config.TotalCores() && to.FreqIdx < from.FreqIdx)
+
+	var seq []move
+	coresLead := (order == CoreFirst) == scalingDown
+	if coresLead {
+		seq = append(append(seq, coreMoves...), freqMoves...)
+	} else {
+		seq = append(append(seq, freqMoves...), coreMoves...)
+	}
+
+	out := make([]stepPlan, 0, len(seq))
+	cur := from
+	for _, mv := range seq {
+		next := cur
+		next.FreqIdx += mv.dFreq
+		next.Config.Little += mv.dLittle
+		next.Config.Big += mv.dBig
+		if !next.Valid() {
+			return nil, fmt.Errorf("soc: step planning left the envelope at %v", next)
+		}
+		out = append(out, stepPlan{from: cur, to: next, isHotplug: mv.dFreq == 0})
+		cur = next
+	}
+	if cur != to {
+		return nil, fmt.Errorf("soc: step planning did not reach target: %v != %v", cur, to)
+	}
+	return out, nil
+}

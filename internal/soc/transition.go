@@ -1,0 +1,76 @@
+package soc
+
+import (
+	"fmt"
+)
+
+// TransitionStepReport describes one atomic step of an analysed transition.
+type TransitionStepReport struct {
+	From, To  OPP
+	IsHotplug bool
+	Seconds   float64
+	// Watts is the board power during the step (max of the endpoints).
+	Watts float64
+	// Coulombs is the charge drawn during the step at the analysis supply
+	// voltage.
+	Coulombs float64
+}
+
+// TransitionReport aggregates the cost of a full OPP transition — the
+// paper's Table I analysis.
+type TransitionReport struct {
+	From, To OPP
+	Order    TransitionOrder
+	Steps    []TransitionStepReport
+	// TotalSeconds is the paper's transition time δ.
+	TotalSeconds float64
+	// Coulombs is the paper's ∫I dt over the transition.
+	Coulombs float64
+	// RequiredCapacitance is the buffer capacitance that can supply
+	// Coulombs while drooping by the allowed voltage margin, farads.
+	RequiredCapacitance float64
+}
+
+// AnalyzeTransition computes the time and charge expended transitioning
+// from one OPP to another in the given order, assuming the supply is held
+// at supplyVolts and the workload keeps the CPU saturated. droopVolts is
+// the supply droop the buffer capacitor may absorb before brownout
+// (paper: from the operating point down to the 4.1 V minimum); the
+// required capacitance is Coulombs/droopVolts.
+func AnalyzeTransition(pm *PowerModel, lm *LatencyModel, from, to OPP, order TransitionOrder, supplyVolts, droopVolts float64) (TransitionReport, error) {
+	if supplyVolts <= 0 {
+		return TransitionReport{}, fmt.Errorf("soc: supply voltage must be positive, got %g", supplyVolts)
+	}
+	if droopVolts <= 0 {
+		return TransitionReport{}, fmt.Errorf("soc: allowed droop must be positive, got %g", droopVolts)
+	}
+	steps, err := planSteps(from, to, order)
+	if err != nil {
+		return TransitionReport{}, err
+	}
+	rep := TransitionReport{From: from, To: to, Order: order}
+	for _, s := range steps {
+		var lat float64
+		if s.isHotplug {
+			lat, err = lm.HotplugLatency(s.from.Config, s.to.Config, s.from.FreqIdx)
+		} else {
+			lat, err = lm.DVFSLatency(s.from.FreqIdx, s.to.FreqIdx, s.from.Config)
+		}
+		if err != nil {
+			return TransitionReport{}, err
+		}
+		pw := pm.PowerAtFullLoad(s.from)
+		if pt := pm.PowerAtFullLoad(s.to); pt > pw {
+			pw = pt
+		}
+		q := pw / supplyVolts * lat
+		rep.Steps = append(rep.Steps, TransitionStepReport{
+			From: s.from, To: s.to, IsHotplug: s.isHotplug,
+			Seconds: lat, Watts: pw, Coulombs: q,
+		})
+		rep.TotalSeconds += lat
+		rep.Coulombs += q
+	}
+	rep.RequiredCapacitance = rep.Coulombs / droopVolts
+	return rep, nil
+}

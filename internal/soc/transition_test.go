@@ -1,0 +1,99 @@
+package soc
+
+import (
+	"testing"
+)
+
+func TestAnalyzeTransitionTable1Shape(t *testing.T) {
+	pm := DefaultPowerModel()
+	lm := DefaultLatencyModel()
+	const supply, droop = 5.3, 1.54
+
+	a, err := AnalyzeTransition(pm, lm, MaxOPP(), MinOPP(), FreqFirst, supply, droop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AnalyzeTransition(pm, lm, MaxOPP(), MinOPP(), CoreFirst, supply, droop)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The paper's Table I shape: (b) is much faster and much cheaper.
+	if b.TotalSeconds >= a.TotalSeconds/2 {
+		t.Errorf("core-first time %.1f ms should be well under freq-first %.1f ms",
+			b.TotalSeconds*1e3, a.TotalSeconds*1e3)
+	}
+	if b.Coulombs >= a.Coulombs/1.5 {
+		t.Errorf("core-first charge %.4f C should be well under freq-first %.4f C",
+			b.Coulombs, a.Coulombs)
+	}
+	// Magnitudes: (b) ≈ 60 ms / 0.05 C (paper: 63.21 ms / 0.0461 C).
+	if b.TotalSeconds < 0.03 || b.TotalSeconds > 0.12 {
+		t.Errorf("core-first time %.1f ms outside paper band", b.TotalSeconds*1e3)
+	}
+	if b.Coulombs < 0.02 || b.Coulombs > 0.09 {
+		t.Errorf("core-first charge %.4f C outside paper band", b.Coulombs)
+	}
+	// The selected order must fit the paper's 47 mF capacitor.
+	if b.RequiredCapacitance >= 47e-3 {
+		t.Errorf("required capacitance %.1f mF exceeds the 47 mF buffer", b.RequiredCapacitance*1e3)
+	}
+	// Both transitions decompose into 7 hot-plug + 7 DVFS steps.
+	if len(a.Steps) != 14 || len(b.Steps) != 14 {
+		t.Errorf("step counts a=%d b=%d, want 14", len(a.Steps), len(b.Steps))
+	}
+}
+
+func TestAnalyzeTransitionChargeConsistency(t *testing.T) {
+	pm := DefaultPowerModel()
+	lm := DefaultLatencyModel()
+	rep, err := AnalyzeTransition(pm, lm, MaxOPP(), MinOPP(), CoreFirst, 5.3, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tsum, qsum float64
+	for _, s := range rep.Steps {
+		if s.Seconds <= 0 || s.Coulombs <= 0 || s.Watts <= 0 {
+			t.Errorf("non-positive step cost: %+v", s)
+		}
+		tsum += s.Seconds
+		qsum += s.Coulombs
+	}
+	if diff := rep.TotalSeconds - tsum; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("total time %.6f != step sum %.6f", rep.TotalSeconds, tsum)
+	}
+	if diff := rep.Coulombs - qsum; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("total charge %.6f != step sum %.6f", rep.Coulombs, qsum)
+	}
+	wantC := rep.Coulombs / 1.5
+	if diff := rep.RequiredCapacitance - wantC; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("required capacitance %.6f != Q/droop %.6f", rep.RequiredCapacitance, wantC)
+	}
+}
+
+func TestAnalyzeTransitionValidation(t *testing.T) {
+	pm := DefaultPowerModel()
+	lm := DefaultLatencyModel()
+	if _, err := AnalyzeTransition(pm, lm, MaxOPP(), MinOPP(), CoreFirst, 0, 1.5); err == nil {
+		t.Error("zero supply accepted")
+	}
+	if _, err := AnalyzeTransition(pm, lm, MaxOPP(), MinOPP(), CoreFirst, 5.3, 0); err == nil {
+		t.Error("zero droop accepted")
+	}
+}
+
+func TestAnalyzeTransitionUpward(t *testing.T) {
+	pm := DefaultPowerModel()
+	lm := DefaultLatencyModel()
+	rep, err := AnalyzeTransition(pm, lm, MinOPP(), MaxOPP(), CoreFirst, 5.3, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalSeconds <= 0 {
+		t.Error("upward transition has no cost")
+	}
+	// Scaling up, CoreFirst raises frequency before adding cores.
+	if rep.Steps[0].IsHotplug {
+		t.Error("core-first scale-up should start with frequency steps")
+	}
+}

@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+)
+
+// Derivative returns a new series of finite-difference slopes dValue/dt
+// (central differences inside, one-sided at the ends). It needs at least
+// two samples with distinct times.
+func (s *Series) Derivative() (*Series, error) {
+	n := s.Len()
+	if n < 2 {
+		return nil, fmt.Errorf("trace: Derivative needs >=2 samples, got %d", n)
+	}
+	out := NewSeries(s.Name+"'", s.Unit+"/s")
+	slope := func(i, j int) float64 {
+		dt := s.times[j] - s.times[i]
+		if dt == 0 {
+			return 0
+		}
+		return (s.values[j] - s.values[i]) / dt
+	}
+	out.Append(s.times[0], slope(0, 1))
+	for i := 1; i < n-1; i++ {
+		out.Append(s.times[i], slope(i-1, i+1))
+	}
+	out.Append(s.times[n-1], slope(n-2, n-1))
+	return out, nil
+}
+
+// MovingAverage returns a new series smoothed with a centred time window
+// of the given width in seconds (samples inside [t−w/2, t+w/2] averaged
+// uniformly).
+func (s *Series) MovingAverage(window float64) (*Series, error) {
+	if s.Len() == 0 {
+		return nil, ErrEmpty
+	}
+	if window <= 0 {
+		return nil, fmt.Errorf("trace: window must be positive, got %g", window)
+	}
+	out := NewSeries(s.Name+"~", s.Unit)
+	half := window / 2
+	lo := 0
+	hi := 0
+	var sum float64
+	var cnt int
+	for i := 0; i < s.Len(); i++ {
+		t := s.times[i]
+		for hi < s.Len() && s.times[hi] <= t+half {
+			sum += s.values[hi]
+			cnt++
+			hi++
+		}
+		for lo < s.Len() && s.times[lo] < t-half {
+			sum -= s.values[lo]
+			cnt--
+			lo++
+		}
+		if cnt > 0 {
+			out.Append(t, sum/float64(cnt))
+		} else {
+			out.Append(t, s.values[i])
+		}
+	}
+	return out, nil
+}
+
+// RMS returns the time-weighted root-mean-square of the signal (zero-order
+// hold), e.g. ripple magnitude for a voltage series.
+func (s *Series) RMS() (float64, error) {
+	if s.Len() == 0 {
+		return 0, ErrEmpty
+	}
+	if s.Len() == 1 {
+		return math.Abs(s.values[0]), nil
+	}
+	var acc, dur float64
+	for i := 0; i+1 < s.Len(); i++ {
+		dt := s.times[i+1] - s.times[i]
+		acc += s.values[i] * s.values[i] * dt
+		dur += dt
+	}
+	if dur == 0 {
+		return math.Abs(s.values[0]), nil
+	}
+	return math.Sqrt(acc / dur), nil
+}
+
+// Detrended returns a copy with the time-weighted mean subtracted —
+// useful before RMS to measure ripple about the operating point.
+func (s *Series) Detrended() (*Series, error) {
+	mean, err := s.TimeMean()
+	if err != nil {
+		return nil, err
+	}
+	out := NewSeries(s.Name+"-detrended", s.Unit)
+	for i := 0; i < s.Len(); i++ {
+		out.Append(s.times[i], s.values[i]-mean)
+	}
+	return out, nil
+}
+
+// CrossingCount returns how many times the signal crosses the given level
+// (either direction), counting each sign change of (value − level).
+func (s *Series) CrossingCount(level float64) int {
+	count := 0
+	prevSign := 0
+	for _, v := range s.values {
+		sign := 0
+		if v > level {
+			sign = 1
+		} else if v < level {
+			sign = -1
+		}
+		if sign != 0 && prevSign != 0 && sign != prevSign {
+			count++
+		}
+		if sign != 0 {
+			prevSign = sign
+		}
+	}
+	return count
+}

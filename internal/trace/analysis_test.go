@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func rampSeries(n int, slope float64) *Series {
+	s := NewSeries("ramp", "V")
+	for i := 0; i < n; i++ {
+		t := float64(i)
+		s.Append(t, slope*t)
+	}
+	return s
+}
+
+func TestDerivativeOfRamp(t *testing.T) {
+	s := rampSeries(10, 2.5)
+	d, err := s.Derivative()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != s.Len() {
+		t.Fatalf("derivative length %d", d.Len())
+	}
+	for i := 0; i < d.Len(); i++ {
+		_, v := d.At(i)
+		if math.Abs(v-2.5) > 1e-12 {
+			t.Errorf("slope[%d] = %g, want 2.5", i, v)
+		}
+	}
+	if d.Unit != "V/s" {
+		t.Errorf("unit %q", d.Unit)
+	}
+	single := NewSeries("x", "")
+	single.Append(0, 1)
+	if _, err := single.Derivative(); err == nil {
+		t.Error("single-sample derivative accepted")
+	}
+}
+
+func TestDerivativeOfParabola(t *testing.T) {
+	s := NewSeries("p", "")
+	for i := 0; i <= 20; i++ {
+		t := float64(i) * 0.1
+		s.Append(t, t*t)
+	}
+	d, err := s.Derivative()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Central differences are exact for quadratics at interior points.
+	for i := 1; i < d.Len()-1; i++ {
+		tt, v := d.At(i)
+		if math.Abs(v-2*tt) > 1e-9 {
+			t.Errorf("d/dt at %g = %g, want %g", tt, v, 2*tt)
+		}
+	}
+}
+
+func TestMovingAverageSmoothes(t *testing.T) {
+	// Alternating ±1 at 1 Hz: a 4-second window should nearly cancel.
+	s := NewSeries("sq", "")
+	for i := 0; i < 40; i++ {
+		v := 1.0
+		if i%2 == 1 {
+			v = -1.0
+		}
+		s.Append(float64(i), v)
+	}
+	sm, err := s.MovingAverage(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.Len() != s.Len() {
+		t.Fatalf("length %d", sm.Len())
+	}
+	_, v := sm.At(20)
+	if math.Abs(v) > 0.25 {
+		t.Errorf("smoothed mid value %g, want ≈0", v)
+	}
+	if _, err := s.MovingAverage(0); err == nil {
+		t.Error("zero window accepted")
+	}
+}
+
+func TestMovingAverageConstantIsIdentity(t *testing.T) {
+	s := NewSeries("c", "")
+	for i := 0; i < 10; i++ {
+		s.Append(float64(i), 7)
+	}
+	sm, err := s.MovingAverage(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < sm.Len(); i++ {
+		if _, v := sm.At(i); v != 7 {
+			t.Fatalf("constant series changed: %g", v)
+		}
+	}
+}
+
+func TestRMS(t *testing.T) {
+	// Constant 3 V: RMS 3.
+	s := NewSeries("c", "V")
+	s.Append(0, 3)
+	s.Append(10, 3)
+	r, err := s.RMS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-3) > 1e-12 {
+		t.Errorf("RMS %g, want 3", r)
+	}
+	// Square wave ±2: RMS 2.
+	sq := NewSeries("sq", "V")
+	for i := 0; i < 20; i++ {
+		v := 2.0
+		if i%2 == 1 {
+			v = -2.0
+		}
+		sq.Append(float64(i), v)
+	}
+	r, err = sq.RMS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-2) > 1e-9 {
+		t.Errorf("square RMS %g, want 2", r)
+	}
+	if _, err := NewSeries("e", "").RMS(); err != ErrEmpty {
+		t.Error("empty RMS should error")
+	}
+}
+
+func TestDetrendedRipple(t *testing.T) {
+	// 5 V with ±0.1 ripple: detrended RMS ≈ 0.1.
+	s := NewSeries("v", "V")
+	for i := 0; i < 100; i++ {
+		v := 5.0 + 0.1
+		if i%2 == 1 {
+			v = 5.0 - 0.1
+		}
+		s.Append(float64(i), v)
+	}
+	d, err := s.Detrended()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := d.RMS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-0.1) > 0.01 {
+		t.Errorf("ripple RMS %g, want ≈0.1", r)
+	}
+}
+
+func TestCrossingCount(t *testing.T) {
+	s := NewSeries("x", "")
+	for i, v := range []float64{0.5, 1.5, 0.5, 1.5, 1.6, 0.4} {
+		s.Append(float64(i), v)
+	}
+	// Signs relative to 1.0: −,+,−,+,+,− → four sign changes.
+	if c := s.CrossingCount(1.0); c != 4 {
+		t.Errorf("crossings = %d, want 4", c)
+	}
+	if c := s.CrossingCount(99); c != 0 {
+		t.Errorf("crossings above range = %d", c)
+	}
+	// Touching the level exactly does not count as a crossing.
+	s2 := NewSeries("y", "")
+	for i, v := range []float64{0, 1, 0, 1} {
+		s2.Append(float64(i), v)
+	}
+	if c := s2.CrossingCount(1); c != 0 {
+		t.Errorf("tangent crossings = %d, want 0", c)
+	}
+}

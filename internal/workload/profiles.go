@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// LoadProfile yields CPU utilisation in [0,1] as a function of time — the
+// signal the simulated Linux governors sample. The paper's evaluation
+// workload (continuous ray tracing) is FullLoad; the other profiles
+// support governor unit tests and ablations.
+type LoadProfile interface {
+	Load(t float64) float64
+}
+
+// FullLoad is the paper's CPU-saturating ray-tracing workload.
+type FullLoad struct{}
+
+// Load implements LoadProfile.
+func (FullLoad) Load(float64) float64 { return 1 }
+
+// ConstantLoad is a fixed utilisation level.
+type ConstantLoad float64
+
+// Load implements LoadProfile.
+func (c ConstantLoad) Load(float64) float64 {
+	return math.Min(math.Max(float64(c), 0), 1)
+}
+
+// SquareLoad alternates between High and Low utilisation with the given
+// period and duty cycle.
+type SquareLoad struct {
+	High, Low float64
+	Period    float64
+	Duty      float64 // fraction of the period spent at High, 0..1
+}
+
+// Validate checks the profile parameters.
+func (s SquareLoad) Validate() error {
+	if s.Period <= 0 {
+		return fmt.Errorf("workload: square load period must be positive, got %g", s.Period)
+	}
+	if s.Duty < 0 || s.Duty > 1 {
+		return fmt.Errorf("workload: duty cycle %g outside [0,1]", s.Duty)
+	}
+	return nil
+}
+
+// Load implements LoadProfile.
+func (s SquareLoad) Load(t float64) float64 {
+	if s.Period <= 0 {
+		return math.Min(math.Max(s.High, 0), 1)
+	}
+	phase := math.Mod(t, s.Period)
+	if phase < 0 {
+		phase += s.Period
+	}
+	v := s.Low
+	if phase < s.Duty*s.Period {
+		v = s.High
+	}
+	return math.Min(math.Max(v, 0), 1)
+}
+
+// RampLoad rises linearly from 0 to 1 over Duration, then holds.
+type RampLoad struct {
+	Duration float64
+}
+
+// Load implements LoadProfile.
+func (r RampLoad) Load(t float64) float64 {
+	if r.Duration <= 0 || t >= r.Duration {
+		return 1
+	}
+	if t <= 0 {
+		return 0
+	}
+	return t / r.Duration
+}

@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFullLoad(t *testing.T) {
+	if (FullLoad{}).Load(123) != 1 {
+		t.Error("full load not 1")
+	}
+}
+
+func TestConstantLoadClamped(t *testing.T) {
+	if ConstantLoad(0.5).Load(0) != 0.5 {
+		t.Error("constant load wrong")
+	}
+	if ConstantLoad(7).Load(0) != 1 || ConstantLoad(-2).Load(0) != 0 {
+		t.Error("clamping broken")
+	}
+}
+
+func TestSquareLoad(t *testing.T) {
+	s := SquareLoad{High: 0.9, Low: 0.1, Period: 10, Duty: 0.3}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Load(1); got != 0.9 {
+		t.Errorf("high phase load %g", got)
+	}
+	if got := s.Load(5); got != 0.1 {
+		t.Errorf("low phase load %g", got)
+	}
+	// Periodicity.
+	if s.Load(11) != s.Load(1) {
+		t.Error("not periodic")
+	}
+	// Negative time wraps.
+	if s.Load(-9) != s.Load(1) {
+		t.Error("negative time broken")
+	}
+}
+
+func TestSquareLoadValidation(t *testing.T) {
+	if err := (SquareLoad{Period: 0, Duty: 0.5}).Validate(); err == nil {
+		t.Error("zero period accepted")
+	}
+	if err := (SquareLoad{Period: 1, Duty: 1.5}).Validate(); err == nil {
+		t.Error("duty > 1 accepted")
+	}
+}
+
+func TestRampLoad(t *testing.T) {
+	r := RampLoad{Duration: 10}
+	if r.Load(-1) != 0 || r.Load(0) != 0 {
+		t.Error("pre-ramp load wrong")
+	}
+	if math.Abs(r.Load(5)-0.5) > 1e-12 {
+		t.Error("mid-ramp load wrong")
+	}
+	if r.Load(10) != 1 || r.Load(100) != 1 {
+		t.Error("post-ramp load wrong")
+	}
+	if (RampLoad{}).Load(5) != 1 {
+		t.Error("zero-duration ramp should saturate")
+	}
+}
+
+// TestQuickLoadsBounded: every profile yields loads in [0,1] at any time.
+func TestQuickLoadsBounded(t *testing.T) {
+	profiles := []LoadProfile{
+		FullLoad{}, ConstantLoad(0.4),
+		SquareLoad{High: 2, Low: -1, Period: 7, Duty: 0.5},
+		RampLoad{Duration: 3},
+	}
+	f := func(tRaw float64) bool {
+		tt := math.Mod(tRaw, 1e6)
+		for _, p := range profiles {
+			l := p.Load(tt)
+			if l < 0 || l > 1 || math.IsNaN(l) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,136 @@
+// Package pnps is a reproduction of "Power Neutral Performance Scaling
+// for Energy Harvesting MP-SoCs" (Fletcher, Balsamo, Merrett — DATE 2017)
+// as a reusable Go library.
+//
+// A power-neutral system couples an energy-harvesting source (here a
+// photovoltaic array) directly to a heterogeneous multicore platform
+// through a tiny buffer capacitor — no battery, no supercapacitor bank.
+// A controller watches the supply-node voltage through two sliding
+// thresholds and continuously re-selects the platform's operating
+// performance point (DVFS level + online big/LITTLE cores) so that the
+// power consumed matches the power harvested instant by instant.
+//
+// This package is the facade over the implementation packages:
+//
+//   - internal/core      — the power-neutral controller (the paper's contribution)
+//   - internal/pv        — single-diode PV array model + irradiance profiles
+//   - internal/soc       — Exynos5422 big.LITTLE platform model
+//   - internal/monitor   — threshold-interrupt hardware model
+//   - internal/governor  — Linux cpufreq governor baselines
+//   - internal/sim       — the ODE/discrete-event co-simulation engine
+//   - internal/workload  — smallpt path tracer + load profiles
+//   - internal/experiments — regeneration of every paper table/figure
+//
+// The type aliases below form the stable public API; see the examples/
+// directory for end-to-end usage.
+package pnps
+
+import (
+	"pnps/internal/core"
+	"pnps/internal/experiments"
+	"pnps/internal/governor"
+	"pnps/internal/pv"
+	"pnps/internal/sim"
+	"pnps/internal/soc"
+)
+
+// Controller types (the paper's contribution).
+type (
+	// ControllerParams are the tuning parameters of the power-neutral
+	// scheme: threshold width/slide and the hot-plug slope thresholds.
+	ControllerParams = core.Params
+	// Controller is the runtime decision engine.
+	Controller = core.Controller
+	// ControllerStats summarises controller activity.
+	ControllerStats = core.Stats
+)
+
+// Platform types.
+type (
+	// OPP is an operating performance point (frequency level + cores).
+	OPP = soc.OPP
+	// CoreConfig is a big.LITTLE online-core configuration.
+	CoreConfig = soc.CoreConfig
+	// Platform is the simulated ODROID-XU4 / Exynos5422 board.
+	Platform = soc.Platform
+)
+
+// Harvesting types.
+type (
+	// PVArray is the single-diode photovoltaic array model.
+	PVArray = pv.Array
+	// IrradianceProfile yields irradiance (W/m²) over time.
+	IrradianceProfile = pv.Profile
+)
+
+// Simulation types.
+type (
+	// SimConfig assembles one co-simulation run.
+	SimConfig = sim.Config
+	// SimResult carries traces and outcome metrics of a run.
+	SimResult = sim.Result
+	// Governor is a baseline cpufreq-style frequency governor.
+	Governor = governor.Governor
+)
+
+// DefaultControllerParams returns the paper's simulation-optimised
+// parameters (Section III): Vwidth=144 mV, Vq=47.9 mV, α=0.120 V/s,
+// β=0.479 V/s.
+func DefaultControllerParams() ControllerParams { return core.DefaultParams() }
+
+// NewController builds a power-neutral controller with thresholds
+// calibrated around the initial supply voltage (paper Eq. 1).
+func NewController(p ControllerParams, initialVC float64, boot OPP, t0 float64) (*Controller, error) {
+	return core.New(p, initialVC, boot, t0)
+}
+
+// NewPlatform returns the calibrated Exynos5422 platform model.
+func NewPlatform() *Platform { return soc.NewDefaultPlatform() }
+
+// NewPVArray returns the paper's 1340 cm² monocrystalline array model
+// (MPP ≈ 5.5 W at ≈ 5.3 V under full sun).
+func NewPVArray() *PVArray { return pv.SouthamptonArray() }
+
+// MinOPP returns the platform's lowest operating point (1×A7 @ 200 MHz).
+func MinOPP() OPP { return soc.MinOPP() }
+
+// MaxOPP returns the platform's highest operating point (4×A7+4×A15 @
+// 1.4 GHz).
+func MaxOPP() OPP { return soc.MaxOPP() }
+
+// Simulate executes a co-simulation run.
+func Simulate(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// LinuxGovernor returns a baseline governor by cpufreq name: performance,
+// powersave, ondemand, conservative or interactive.
+func LinuxGovernor(name string) (Governor, error) { return governor.ByName(name) }
+
+// ConstantIrradiance returns a fixed-irradiance profile (W/m²); 1000 is
+// full sun.
+func ConstantIrradiance(wm2 float64) IrradianceProfile { return pv.Constant(wm2) }
+
+// SolarDayProfile returns a 24 h clear-sky diurnal envelope (6:00 sunrise,
+// 20:00 sunset, 1000 W/m² peak).
+func SolarDayProfile() IrradianceProfile { return pv.StandardDay() }
+
+// WithPartialClouds overlays deterministic (seeded) cloud shadowing on a
+// base profile over the given span in seconds.
+func WithPartialClouds(base IrradianceProfile, span float64, seed int64) IrradianceProfile {
+	return pv.NewClouds(base, pv.PartialSun(span), seed)
+}
+
+// ShadowEvent returns full sun interrupted by one smooth shadow of the
+// given depth (0..1) between start and start+duration seconds.
+func ShadowEvent(depth, start, duration float64) IrradianceProfile {
+	return pv.Shadow{Base: pv.StandardIrradiance, Depth: depth, Start: start,
+		Duration: duration, Edge: 0.4}
+}
+
+// RunExperiment regenerates a paper table/figure by id (e.g. "fig12",
+// "table2"); ExperimentIDs lists the available ids.
+func RunExperiment(id string, seed int64) (*experiments.Report, error) {
+	return experiments.Run(id, seed)
+}
+
+// ExperimentIDs lists the registered experiment ids.
+func ExperimentIDs() []string { return experiments.IDs() }

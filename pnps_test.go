@@ -1,0 +1,93 @@
+package pnps
+
+import (
+	"testing"
+
+	"pnps/internal/soc"
+)
+
+// TestFacadeEndToEnd drives the whole stack through the public API only —
+// the same path the examples use.
+func TestFacadeEndToEnd(t *testing.T) {
+	platform := NewPlatform()
+	platform.Reset(0, MinOPP())
+	controller, err := NewController(DefaultControllerParams(), 5.3, MinOPP(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	result, err := Simulate(SimConfig{
+		Array:       NewPVArray(),
+		Profile:     ConstantIrradiance(1000),
+		Capacitance: 47e-3,
+		InitialVC:   5.3,
+		Platform:    platform,
+		Controller:  controller,
+		Duration:    20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result.BrownedOut {
+		t.Error("facade run browned out under full sun")
+	}
+	if result.Instructions <= 0 {
+		t.Error("no work done")
+	}
+}
+
+func TestFacadeProfiles(t *testing.T) {
+	if ConstantIrradiance(700).Irradiance(5) != 700 {
+		t.Error("ConstantIrradiance wrong")
+	}
+	day := SolarDayProfile()
+	if day.Irradiance(13*3600) <= 0 {
+		t.Error("SolarDayProfile dark at noon")
+	}
+	cloudy := WithPartialClouds(day, 24*3600, 5)
+	if cloudy.Irradiance(13*3600) < 0 {
+		t.Error("cloudy profile negative")
+	}
+	sh := ShadowEvent(0.5, 10, 5)
+	if sh.Irradiance(12) >= sh.Irradiance(0) {
+		t.Error("shadow event does not attenuate")
+	}
+}
+
+func TestFacadeGovernors(t *testing.T) {
+	g, err := LinuxGovernor("powersave")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "powersave" {
+		t.Error("governor name wrong")
+	}
+	if _, err := LinuxGovernor("bogus"); err == nil {
+		t.Error("unknown governor accepted")
+	}
+}
+
+func TestFacadeBounds(t *testing.T) {
+	if MinOPP().Config.TotalCores() != 1 || MaxOPP().Config.TotalCores() != 8 {
+		t.Error("OPP bounds wrong")
+	}
+	if MinOPP() != soc.MinOPP() {
+		t.Error("facade MinOPP diverged from soc")
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) < 14 {
+		t.Fatalf("only %d experiments registered", len(ids))
+	}
+	rep, err := RunExperiment("fig4", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "fig4" {
+		t.Error("wrong report")
+	}
+	if _, err := RunExperiment("missing", 1); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
