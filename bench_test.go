@@ -11,8 +11,11 @@ package pnps
 // the micro-benchmarks at the bottom characterise the hot paths.
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
+	"pnps/internal/batch"
 	"pnps/internal/core"
 	"pnps/internal/experiments"
 	"pnps/internal/ode"
@@ -175,6 +178,71 @@ func BenchmarkExtBufferComparison(b *testing.B) {
 		"power-neutral min capacitance": "mF",
 		"buffer reduction vs static":    "x",
 	})
+}
+
+// --- batch engine: serial-vs-parallel scaling ---
+
+// BenchmarkRunSweepWorkers scores the paper's full default (Vwidth, Vq,
+// α, β) grid at 1, 2, 4 and GOMAXPROCS workers (shortened per-point
+// scenarios keep an iteration tractable; the grid shape is the paper's).
+// Compare the workers=1 and workers=4 wall-clock times for the speedup
+// of the batch engine; on ≥4 hardware threads the parallel run is
+// expected ≥2× faster, with identical output by construction.
+func BenchmarkRunSweepWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=GOMAXPROCS"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pts, err := experiments.RunSweep(experiments.SweepOptions{
+					Duration: 10, // default grids, shortened scenario
+					Workers:  workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					b.ReportMetric(float64(len(pts)), "gridPts")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRunAllExperiments regenerates the fast paper artefacts
+// serially and in parallel through the experiment-level worker pool.
+func BenchmarkRunAllExperiments(b *testing.B) {
+	ids := []string{"fig3", "fig4", "fig6", "fig7", "fig10", "table1"}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunAll(context.Background(), experiments.RunAllOptions{
+					IDs: ids, Workers: workers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBatchOverhead measures the engine's per-job cost with no-op
+// jobs — the fixed tax the pool adds on top of real simulation work.
+func BenchmarkBatchOverhead(b *testing.B) {
+	jobs := make([]batch.Func[int], 1024)
+	for i := range jobs {
+		i := i
+		jobs[i] = func(context.Context) (int, error) { return i, nil }
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := batch.Run(context.Background(), jobs, batch.Options{Workers: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(jobs)), "jobs/op")
 }
 
 // --- micro-benchmarks of the hot paths ---

@@ -5,19 +5,23 @@
 //
 // Usage:
 //
-//	pnsim [-seed N] [-csv dir] <experiment>...
+//	pnsim [-seed N] [-csv dir] [-workers N] <experiment>...
 //	pnsim -all
 //	pnsim -list
 //
 // With -csv, every series the experiment records is written as
-// <dir>/<experiment>.csv for external plotting.
+// <dir>/<experiment>.csv for external plotting. Experiments are
+// independent and execute concurrently on -workers goroutines (default
+// GOMAXPROCS); reports are printed in the order the ids were given.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"pnps/internal/experiments"
 	"pnps/internal/trace"
@@ -25,10 +29,11 @@ import (
 
 func main() {
 	var (
-		seed   = flag.Int64("seed", experiments.DefaultSeed, "random seed for stochastic scenarios")
-		csvDir = flag.String("csv", "", "directory to write per-experiment CSV series into")
-		all    = flag.Bool("all", false, "run every registered experiment")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
+		seed    = flag.Int64("seed", experiments.DefaultSeed, "random seed for stochastic scenarios")
+		csvDir  = flag.String("csv", "", "directory to write per-experiment CSV series into")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent experiment executions")
+		all     = flag.Bool("all", false, "run every registered experiment")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
 
@@ -46,19 +51,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pnsim: no experiments given; try -list or -all")
 		os.Exit(2)
 	}
-	for _, id := range ids {
-		rep, err := experiments.Run(id, *seed)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "pnsim: %s: %v\n", id, err)
-			os.Exit(1)
+	reps, runErr := experiments.RunAll(context.Background(), experiments.RunAllOptions{
+		IDs: ids, Seed: *seed, Workers: *workers,
+	})
+	failed := runErr != nil
+	for i, rep := range reps {
+		if rep == nil {
+			continue // failure; reported via runErr below
 		}
 		fmt.Println(rep.String())
 		if *csvDir != "" && len(rep.Series) > 0 {
-			if err := writeCSV(*csvDir, id, rep); err != nil {
-				fmt.Fprintf(os.Stderr, "pnsim: csv %s: %v\n", id, err)
-				os.Exit(1)
+			if err := writeCSV(*csvDir, ids[i], rep); err != nil {
+				fmt.Fprintf(os.Stderr, "pnsim: csv %s: %v\n", ids[i], err)
+				failed = true
 			}
 		}
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "pnsim: %v\n", runErr)
+	}
+	if failed {
+		os.Exit(1)
 	}
 }
 

@@ -4,15 +4,19 @@
 //
 // Usage:
 //
-//	pnsweep [-seed N] [-duration S] [-vwidth list] [-vq list] [-alpha list] [-beta list]
+//	pnsweep [-seed N] [-duration S] [-workers N] [-progress] [-vwidth list] [-vq list] [-alpha list] [-beta list]
 //
-// Lists are comma-separated values in volts / volts-per-second.
+// Lists are comma-separated values in volts / volts-per-second. Grid
+// points are independent simulations and are scored concurrently on
+// -workers goroutines (default GOMAXPROCS); the output is identical for
+// any worker count. -progress streams grid completion to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -39,6 +43,8 @@ func main() {
 	var (
 		seed     = flag.Int64("seed", experiments.DefaultSeed, "scenario seed")
 		duration = flag.Float64("duration", 240, "per-point scenario duration, seconds")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent grid-point evaluations")
+		progress = flag.Bool("progress", false, "report grid progress on stderr")
 		vwidth   = flag.String("vwidth", "", "comma-separated Vwidth grid, volts")
 		vq       = flag.String("vq", "", "comma-separated Vq grid, volts")
 		alpha    = flag.String("alpha", "", "comma-separated alpha grid, V/s")
@@ -46,7 +52,15 @@ func main() {
 	)
 	flag.Parse()
 
-	opts := experiments.SweepOptions{Seed: *seed, Duration: *duration}
+	opts := experiments.SweepOptions{Seed: *seed, Duration: *duration, Workers: *workers}
+	if *progress {
+		opts.OnProgress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rpnsweep: %d/%d grid points", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
 	var err error
 	if opts.VWidths, err = parseList(*vwidth); err != nil {
 		fatal(err)

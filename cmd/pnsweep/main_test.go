@@ -1,0 +1,45 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseList(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name    string
+		in      string
+		want    []float64
+		wantErr bool
+	}{
+		{name: "empty means use defaults", in: "", want: nil},
+		{name: "single value", in: "0.144", want: []float64{0.144}},
+		{name: "multiple values", in: "0.1,0.2,0.3", want: []float64{0.1, 0.2, 0.3}},
+		{name: "whitespace around elements", in: " 0.1 ,\t0.2 , 0.3", want: []float64{0.1, 0.2, 0.3}},
+		{name: "scientific notation", in: "4.79e-2,1e0", want: []float64{0.0479, 1}},
+		{name: "negative values parse", in: "-0.5,0.5", want: []float64{-0.5, 0.5}},
+		{name: "bad element", in: "0.1,abc,0.3", wantErr: true},
+		{name: "trailing comma is a bad element", in: "0.1,", wantErr: true},
+		{name: "lone whitespace is a bad element", in: "  ", wantErr: true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			got, err := parseList(tc.in)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("parseList(%q) = %v, want error", tc.in, got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parseList(%q): %v", tc.in, err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("parseList(%q) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+}

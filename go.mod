@@ -1,0 +1,3 @@
+module pnps
+
+go 1.22

@@ -1,0 +1,144 @@
+// Package batch is a worker-pool execution engine for embarrassingly
+// parallel simulation workloads: parameter sweeps, figure regeneration,
+// Monte-Carlo repetitions. It guarantees deterministic output — results
+// are collected in job order and error aggregation is index-ordered — so
+// a batch produces bit-identical results regardless of worker count.
+//
+// Jobs must be independent: they may not share mutable state, and any
+// randomness must come from a per-job seed (see Seed) rather than a
+// shared generator.
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Func is one unit of work. The context is the batch context; jobs that
+// run long should poll ctx.Err() and abandon work once cancelled.
+type Func[T any] func(ctx context.Context) (T, error)
+
+// Options tunes a batch run.
+type Options struct {
+	// Workers is the number of concurrent goroutines; <= 0 selects
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// OnProgress, when non-nil, is called after every executed job with
+	// the number of completed jobs and the total; jobs skipped because
+	// the context was cancelled are not counted, so a cancelled batch
+	// never reports completed == total. Calls are serialised and the
+	// completed count is monotone, but completions do not follow job
+	// order.
+	OnProgress func(completed, total int)
+}
+
+func (o Options) workers(jobs int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes jobs on a worker pool and returns their results in job
+// order: out[i] is the result of jobs[i], whatever the interleaving.
+//
+// Every job is attempted (no fail-fast) unless the context is cancelled,
+// in which case unstarted jobs fail with the context error. All failures
+// are aggregated with errors.Join in job-index order, so the returned
+// error is deterministic too. On error the result slice is still
+// returned; slots whose job failed hold the zero value.
+func Run[T any](ctx context.Context, jobs []Func[T], opts Options) ([]T, error) {
+	n := len(jobs)
+	out := make([]T, n)
+	if n == 0 {
+		return out, ctx.Err()
+	}
+	errs := make([]error, n)
+	workers := opts.workers(n)
+
+	var next atomic.Int64
+	var progressMu sync.Mutex
+	completed := 0
+	report := func() {
+		if opts.OnProgress == nil {
+			return
+		}
+		// Increment under the same mutex that serialises the callback so
+		// counts are monotone and the completed == total call is last.
+		progressMu.Lock()
+		completed++
+		opts.OnProgress(completed, n)
+		progressMu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					// Skipped, not completed: no progress report — a
+					// cancelled batch must not claim to reach total.
+					errs[i] = fmt.Errorf("batch: job %d not started: %w", i, err)
+					continue
+				}
+				out[i], errs[i] = runJob(ctx, jobs[i], i)
+				report()
+			}
+		}()
+	}
+	wg.Wait()
+	return out, errors.Join(errs...)
+}
+
+// runJob executes one job, converting a panic into an error so a single
+// bad parameter combination cannot take down a whole sweep.
+func runJob[T any](ctx context.Context, job Func[T], i int) (out T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("batch: job %d panicked: %v", i, r)
+		}
+	}()
+	out, err = job(ctx)
+	if err != nil {
+		err = fmt.Errorf("batch: job %d: %w", i, err)
+	}
+	return out, err
+}
+
+// Map runs fn over items on a worker pool, returning out[i] = fn(items[i])
+// in input order. It is Run with the job list built for you.
+func Map[In, Out any](ctx context.Context, items []In, fn func(ctx context.Context, item In) (Out, error), opts Options) ([]Out, error) {
+	jobs := make([]Func[Out], len(items))
+	for i := range items {
+		item := items[i]
+		jobs[i] = func(ctx context.Context) (Out, error) { return fn(ctx, item) }
+	}
+	return Run(ctx, jobs, opts)
+}
+
+// Seed derives a deterministic per-job seed from a base seed and a job
+// index via a splitmix64 step, so parallel jobs get decorrelated streams
+// while the whole batch remains reproducible from the base seed alone.
+func Seed(base int64, index int) int64 {
+	z := uint64(base) + uint64(index+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}

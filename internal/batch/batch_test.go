@@ -1,0 +1,170 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func squareJobs(n int) []Func[int] {
+	jobs := make([]Func[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = func(context.Context) (int, error) { return i * i, nil }
+	}
+	return jobs
+}
+
+func TestRunOrdersResults(t *testing.T) {
+	t.Parallel()
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			t.Parallel()
+			out, err := Run(context.Background(), squareJobs(50), Options{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range out {
+				if v != i*i {
+					t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+				}
+			}
+		})
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	t.Parallel()
+	out, err := Run[int](context.Background(), nil, Options{Workers: 4})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: out=%v err=%v", out, err)
+	}
+}
+
+func TestRunAggregatesErrorsInOrder(t *testing.T) {
+	t.Parallel()
+	jobs := make([]Func[int], 10)
+	for i := range jobs {
+		i := i
+		jobs[i] = func(context.Context) (int, error) {
+			if i%3 == 0 {
+				return 0, fmt.Errorf("boom %d", i)
+			}
+			return i, nil
+		}
+	}
+	out, err := Run(context.Background(), jobs, Options{Workers: 4})
+	if err == nil {
+		t.Fatal("want aggregated error")
+	}
+	// Index-ordered aggregation keeps the message deterministic across
+	// worker counts and schedules.
+	msg := err.Error()
+	last := -1
+	for _, frag := range []string{"job 0", "job 3", "job 6", "job 9"} {
+		at := strings.Index(msg, frag)
+		if at < 0 {
+			t.Fatalf("error %q missing %q", msg, frag)
+		}
+		if at < last {
+			t.Fatalf("error fragments out of order in %q", msg)
+		}
+		last = at
+	}
+	// Successful slots survive a partial failure.
+	if out[1] != 1 || out[4] != 4 {
+		t.Fatalf("successful results clobbered: %v", out)
+	}
+}
+
+func TestRunRecoversPanics(t *testing.T) {
+	t.Parallel()
+	jobs := []Func[int]{
+		func(context.Context) (int, error) { return 1, nil },
+		func(context.Context) (int, error) { panic("kaboom") },
+	}
+	out, err := Run(context.Background(), jobs, Options{Workers: 2})
+	if err == nil || !strings.Contains(err.Error(), "job 1 panicked: kaboom") {
+		t.Fatalf("panic not converted to error: %v", err)
+	}
+	if out[0] != 1 {
+		t.Fatal("healthy job result lost")
+	}
+}
+
+func TestRunHonoursCancelledContext(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	jobs := make([]Func[int], 8)
+	for i := range jobs {
+		jobs[i] = func(context.Context) (int, error) { ran.Add(1); return 0, nil }
+	}
+	_, err := Run(ctx, jobs, Options{Workers: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d jobs ran under a cancelled context", ran.Load())
+	}
+}
+
+func TestRunProgress(t *testing.T) {
+	t.Parallel()
+	// Callbacks are serialised and monotone, so plain ints suffice.
+	var calls, lastDone, sawTotal int
+	_, err := Run(context.Background(), squareJobs(20), Options{
+		Workers: 4,
+		OnProgress: func(done, total int) {
+			if done != lastDone+1 {
+				t.Errorf("progress went %d -> %d, want monotone +1", lastDone, done)
+			}
+			calls++
+			lastDone, sawTotal = done, total
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 20 || lastDone != 20 || sawTotal != 20 {
+		t.Fatalf("progress calls=%d last=%d/%d, want 20 ending 20/20", calls, lastDone, sawTotal)
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	t.Parallel()
+	items := []string{"a", "bb", "ccc", "dddd"}
+	out, err := Map(context.Background(), items,
+		func(_ context.Context, s string) (int, error) { return len(s), nil },
+		Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, []int{1, 2, 3, 4}) {
+		t.Fatalf("Map out = %v", out)
+	}
+}
+
+func TestSeedDeterministicAndDecorrelated(t *testing.T) {
+	t.Parallel()
+	seen := map[int64]int{}
+	for i := 0; i < 1000; i++ {
+		s := Seed(42, i)
+		if s2 := Seed(42, i); s2 != s {
+			t.Fatalf("Seed(42,%d) unstable: %d vs %d", i, s, s2)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("Seed collision: indices %d and %d both map to %d", prev, i, s)
+		}
+		seen[s] = i
+	}
+	if Seed(1, 0) == Seed(2, 0) {
+		t.Fatal("base seed ignored")
+	}
+}

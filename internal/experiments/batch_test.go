@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// reducedSweep is a grid small enough for every CI run while still
+// spanning multiple jobs per worker.
+func reducedSweep(workers int) SweepOptions {
+	return SweepOptions{
+		VWidths:  []float64{0.144, 0.28},
+		VQs:      []float64{0.0479, 0.08},
+		Alphas:   []float64{0.12},
+		Betas:    []float64{0.479, 0.8},
+		Duration: 60,
+		Workers:  workers,
+	}
+}
+
+// TestSweepDeterministicAcrossWorkerCounts is the concurrency-safety
+// contract of the batch refactor: the same sweep on 1, 2 and 8 workers
+// must produce bit-identical SweepPoint slices. Run under -race it
+// doubles as a data-race probe over the whole simulation stack.
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep: skipped with -short")
+	}
+	t.Parallel()
+	var ref []SweepPoint
+	for _, workers := range []int{1, 2, 8} {
+		pts, err := RunSweep(reducedSweep(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(pts) != 8 {
+			t.Fatalf("workers=%d: %d grid points, want 8", workers, len(pts))
+		}
+		if ref == nil {
+			ref = pts
+			continue
+		}
+		if !reflect.DeepEqual(ref, pts) {
+			t.Errorf("workers=%d: results differ from workers=1:\n  ref: %+v\n  got: %+v",
+				workers, ref, pts)
+		}
+	}
+}
+
+func TestSweepContextCancellation(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunSweepContext(ctx, reducedSweep(2)); err == nil {
+		t.Fatal("cancelled sweep returned no error")
+	}
+}
+
+func TestSweepProgressCallback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full reduced sweep: skipped with -short")
+	}
+	t.Parallel()
+	opts := reducedSweep(4)
+	var calls, lastDone, lastTotal int
+	// Callback invocations are serialised and monotone by the batch
+	// engine and all complete before RunSweep returns, so plain ints are
+	// race-free here.
+	opts.OnProgress = func(d, total int) {
+		if d != lastDone+1 {
+			t.Errorf("progress went %d -> %d, want monotone +1", lastDone, d)
+		}
+		calls++
+		lastDone, lastTotal = d, total
+	}
+	if _, err := RunSweep(opts); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 8 || lastDone != 8 || lastTotal != 8 {
+		t.Errorf("progress calls=%d last=%d/%d, want 8 calls ending 8/8", calls, lastDone, lastTotal)
+	}
+}
+
+// TestRunAllFast executes the sub-second experiments concurrently and
+// checks report ordering matches the id list.
+func TestRunAllFast(t *testing.T) {
+	t.Parallel()
+	ids := []string{"fig4", "fig7", "fig10", "table1"}
+	reps, err := RunAll(context.Background(), RunAllOptions{IDs: ids, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != len(ids) {
+		t.Fatalf("%d reports for %d ids", len(reps), len(ids))
+	}
+	for i, rep := range reps {
+		if rep == nil {
+			t.Fatalf("report %d (%s) is nil", i, ids[i])
+		}
+		if rep.ID != ids[i] {
+			t.Errorf("reports[%d].ID = %q, want %q — ordering broken", i, rep.ID, ids[i])
+		}
+	}
+}
+
+// TestRunAllMatchesSerial checks that a parallel RunAll reproduces the
+// exact metrics of serial Run calls for deterministic experiments.
+func TestRunAllMatchesSerial(t *testing.T) {
+	t.Parallel()
+	ids := []string{"fig4", "fig10"}
+	reps, err := RunAll(context.Background(), RunAllOptions{IDs: ids, Seed: DefaultSeed, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		serial, err := Run(id, DefaultSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial.Metrics, reps[i].Metrics) {
+			t.Errorf("%s: parallel metrics differ from serial", id)
+		}
+	}
+}
+
+func TestRunAllAggregatesUnknownIDs(t *testing.T) {
+	t.Parallel()
+	ids := []string{"fig4", "no-such-experiment", "fig10"}
+	reps, err := RunAll(context.Background(), RunAllOptions{IDs: ids, Workers: 2})
+	if err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	if reps[0] == nil || reps[2] == nil {
+		t.Error("healthy experiments lost to one bad id")
+	}
+	if reps[1] != nil {
+		t.Error("failed slot should be nil")
+	}
+}

@@ -9,6 +9,7 @@ import (
 // family and the sweep are skipped with -short.
 
 func TestFig1(t *testing.T) {
+	t.Parallel()
 	r, err := Fig1(DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
@@ -26,6 +27,7 @@ func TestFig1(t *testing.T) {
 }
 
 func TestFig3(t *testing.T) {
+	t.Parallel()
 	r, err := Fig3()
 	if err != nil {
 		t.Fatal(err)
@@ -44,6 +46,7 @@ func TestFig3(t *testing.T) {
 }
 
 func TestFig4(t *testing.T) {
+	t.Parallel()
 	r, err := Fig4()
 	if err != nil {
 		t.Fatal(err)
@@ -62,6 +65,7 @@ func TestFig4(t *testing.T) {
 }
 
 func TestFig6(t *testing.T) {
+	t.Parallel()
 	r, err := Fig6()
 	if err != nil {
 		t.Fatal(err)
@@ -78,6 +82,7 @@ func TestFig6(t *testing.T) {
 }
 
 func TestFig7(t *testing.T) {
+	t.Parallel()
 	r, err := Fig7()
 	if err != nil {
 		t.Fatal(err)
@@ -95,6 +100,7 @@ func TestFig7(t *testing.T) {
 }
 
 func TestFig10(t *testing.T) {
+	t.Parallel()
 	r, err := Fig10()
 	if err != nil {
 		t.Fatal(err)
@@ -113,6 +119,7 @@ func TestFig10(t *testing.T) {
 }
 
 func TestTable1(t *testing.T) {
+	t.Parallel()
 	r, err := Table1()
 	if err != nil {
 		t.Fatal(err)
@@ -132,6 +139,7 @@ func TestTable1(t *testing.T) {
 }
 
 func TestFig11(t *testing.T) {
+	t.Parallel()
 	r, err := Fig11(DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
@@ -146,52 +154,66 @@ func TestFig11(t *testing.T) {
 }
 
 func TestFig12Family(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("6-hour scenario: skipped with -short")
 	}
-	r12, err := Fig12(DefaultSeed)
-	if err != nil {
-		t.Fatal(err)
-	}
-	within5 := metricByName(t, r12, "time within ±5% of target").Value
-	if within5 < 60 {
-		t.Errorf("stability %.1f%%, want the paper's >90%% order", within5)
-	}
-	if metricByName(t, r12, "brownouts").Value != 0 {
-		t.Error("brownouts during the full-sun run")
-	}
-
-	r13, err := Fig13(DefaultSeed)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if d := metricByName(t, r13, "|modal − MPP voltage|").Value; d > 0.5 {
-		t.Errorf("modal operating voltage %.2f V away from MPP — MPPT behaviour lost", d)
-	}
-
-	r14, err := Fig14(DefaultSeed)
-	if err != nil {
-		t.Fatal(err)
-	}
-	util := metricByName(t, r14, "utilisation of harvest (energy)").Value
-	if util < 55 || util > 103 {
-		t.Errorf("harvest utilisation %.1f%% implausible", util)
-	}
-
-	r15, err := Fig15(DefaultSeed)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ov := metricByName(t, r15, "controller CPU overhead").Value
-	if ov <= 0 || ov > 1 {
-		t.Errorf("controller overhead %.3f%% outside the paper's sub-percent order", ov)
-	}
-	if mp := metricByName(t, r15, "monitor hardware power").Value; mp < 1.4 || mp > 1.8 {
-		t.Errorf("monitor power %.2f mW, want 1.61", mp)
-	}
+	// The four figures share one memoised 6-hour run (fig12Run), so the
+	// siblings serialise behind fig12Mu on first computation; parallel
+	// subtests only overlap their per-figure post-processing.
+	t.Run("fig12", func(t *testing.T) {
+		t.Parallel()
+		r12, err := Fig12(DefaultSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		within5 := metricByName(t, r12, "time within ±5% of target").Value
+		if within5 < 60 {
+			t.Errorf("stability %.1f%%, want the paper's >90%% order", within5)
+		}
+		if metricByName(t, r12, "brownouts").Value != 0 {
+			t.Error("brownouts during the full-sun run")
+		}
+	})
+	t.Run("fig13", func(t *testing.T) {
+		t.Parallel()
+		r13, err := Fig13(DefaultSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := metricByName(t, r13, "|modal − MPP voltage|").Value; d > 0.5 {
+			t.Errorf("modal operating voltage %.2f V away from MPP — MPPT behaviour lost", d)
+		}
+	})
+	t.Run("fig14", func(t *testing.T) {
+		t.Parallel()
+		r14, err := Fig14(DefaultSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		util := metricByName(t, r14, "utilisation of harvest (energy)").Value
+		if util < 55 || util > 103 {
+			t.Errorf("harvest utilisation %.1f%% implausible", util)
+		}
+	})
+	t.Run("fig15", func(t *testing.T) {
+		t.Parallel()
+		r15, err := Fig15(DefaultSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ov := metricByName(t, r15, "controller CPU overhead").Value
+		if ov <= 0 || ov > 1 {
+			t.Errorf("controller overhead %.3f%% outside the paper's sub-percent order", ov)
+		}
+		if mp := metricByName(t, r15, "monitor hardware power").Value; mp < 1.4 || mp > 1.8 {
+			t.Errorf("monitor power %.2f mW, want 1.61", mp)
+		}
+	})
 }
 
 func TestTable2(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("hour-long comparison: skipped with -short")
 	}
@@ -215,6 +237,7 @@ func TestTable2(t *testing.T) {
 }
 
 func TestSweepShapes(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("grid search: skipped with -short")
 	}
@@ -241,6 +264,7 @@ func TestSweepShapes(t *testing.T) {
 }
 
 func TestAblations(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("ablations: skipped with -short")
 	}
@@ -261,6 +285,7 @@ func TestAblations(t *testing.T) {
 }
 
 func TestMPPTComparison(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("reuses the 6-hour scenario: skipped with -short")
 	}
@@ -282,6 +307,7 @@ func TestMPPTComparison(t *testing.T) {
 }
 
 func TestPredictiveComparison(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("four scenario runs: skipped with -short")
 	}
@@ -301,6 +327,7 @@ func TestPredictiveComparison(t *testing.T) {
 }
 
 func TestBufferComparison(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("bisection over simulations: skipped with -short")
 	}
@@ -326,6 +353,7 @@ func TestBufferComparison(t *testing.T) {
 }
 
 func TestRegistryCoversEveryPaperArtefact(t *testing.T) {
+	t.Parallel()
 	ids := IDs()
 	want := []string{"fig1", "fig3", "fig4", "fig6", "fig7", "fig10", "fig11",
 		"fig12", "fig13", "fig14", "fig15", "table1", "table2", "sweep",
@@ -345,6 +373,7 @@ func TestRegistryCoversEveryPaperArtefact(t *testing.T) {
 }
 
 func TestReportRendering(t *testing.T) {
+	t.Parallel()
 	r := &Report{ID: "x", Title: "T", Description: "D"}
 	r.AddPaperMetric("m", 1.5, 2.0, "W", "note")
 	r.Tables = append(r.Tables, Table{
@@ -361,6 +390,7 @@ func TestReportRendering(t *testing.T) {
 }
 
 func TestFmtHelpers(t *testing.T) {
+	t.Parallel()
 	if fmtSeconds(65) != "01:05" {
 		t.Errorf("fmtSeconds(65) = %q", fmtSeconds(65))
 	}

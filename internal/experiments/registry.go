@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
+
+	"pnps/internal/batch"
 )
 
 // Runner produces one experiment report from a seed.
@@ -55,4 +58,36 @@ func Run(id string, seed int64) (*Report, error) {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
 	}
 	return r(seed)
+}
+
+// RunAllOptions configures a parallel run of registered experiments.
+type RunAllOptions struct {
+	// IDs selects which experiments to run; empty means every
+	// registered id in sorted order.
+	IDs []string
+	// Seed is passed verbatim to every seeded experiment; callers who
+	// want the canonical scenarios pass DefaultSeed.
+	Seed int64
+	// Workers bounds experiment-level concurrency; <= 0 selects
+	// GOMAXPROCS.
+	Workers int
+	// OnProgress, when non-nil, is called after each experiment
+	// completes with (completed, total).
+	OnProgress func(completed, total int)
+}
+
+// RunAll executes independent experiments concurrently on a worker pool
+// and returns their reports in the order of opts.IDs (reports[i] matches
+// ids[i]). Experiments are pure functions of (parameters, seed), so
+// running them in parallel cannot change any individual report. An
+// unknown id or a failing experiment does not abort the rest: all
+// failures are aggregated into the returned error, index-ordered.
+func RunAll(ctx context.Context, opts RunAllOptions) ([]*Report, error) {
+	ids := opts.IDs
+	if len(ids) == 0 {
+		ids = IDs()
+	}
+	return batch.Map(ctx, ids, func(_ context.Context, id string) (*Report, error) {
+		return Run(id, opts.Seed)
+	}, batch.Options{Workers: opts.Workers, OnProgress: opts.OnProgress})
 }

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"pnps/internal/batch"
 	"pnps/internal/core"
 	"pnps/internal/pv"
 	"pnps/internal/soc"
@@ -27,6 +29,12 @@ type SweepOptions struct {
 	Duration float64
 	// Seed drives the shared evaluation scenario.
 	Seed int64
+	// Workers is the number of grid points scored concurrently; <= 0
+	// selects GOMAXPROCS. Results are bit-identical for any value.
+	Workers int
+	// OnProgress, when non-nil, is called after each grid point is
+	// scored with (completed, total).
+	OnProgress func(completed, total int)
 }
 
 func (o *SweepOptions) withDefaults() {
@@ -60,15 +68,11 @@ func sweepScenario(seed int64, duration float64) pv.Profile {
 	}, seed)
 }
 
-// RunSweep evaluates the grid and returns all points sorted by stability
-// (survivors first).
-func RunSweep(opts SweepOptions) ([]SweepPoint, error) {
-	opts.withDefaults()
-	mpp, err := fullSunMPP()
-	if err != nil {
-		return nil, err
-	}
-	var pts []SweepPoint
+// enumerateGrid expands the (Vwidth, Vq, α, β) grid into the parameter
+// sets to score, in canonical (nested-loop) order. Combinations with
+// β < α are not meaningful and are skipped.
+func enumerateGrid(opts SweepOptions) []core.Params {
+	var grid []core.Params
 	for _, vw := range opts.VWidths {
 		for _, vq := range opts.VQs {
 			for _, a := range opts.Alphas {
@@ -78,22 +82,55 @@ func RunSweep(opts SweepOptions) ([]SweepPoint, error) {
 					}
 					p := core.DefaultParams()
 					p.VWidth, p.VQ, p.Alpha, p.Beta = vw, vq, a, b
-					res, err := controllerRun(p, sweepScenario(opts.Seed, opts.Duration),
-						opts.Duration, 47e-3, mpp.V, soc.MinOPP())
-					if err != nil {
-						return nil, fmt.Errorf("sweep %+v: %w", p, err)
-					}
-					minV, _ := res.VC.Min()
-					pts = append(pts, SweepPoint{
-						Params:    p,
-						Stability: res.StabilityWithin(0.05),
-						Survived:  !res.BrownedOut,
-						MinVC:     minV,
-						Instr:     res.Instructions,
-					})
+					grid = append(grid, p)
 				}
 			}
 		}
+	}
+	return grid
+}
+
+// RunSweep evaluates the grid and returns all points sorted by stability
+// (survivors first). Grid points are scored concurrently on
+// opts.Workers goroutines; the output is bit-identical for any worker
+// count because each point is an independent simulation from a fixed
+// seed and results are collected in grid order before the stable sort.
+func RunSweep(opts SweepOptions) ([]SweepPoint, error) {
+	return RunSweepContext(context.Background(), opts)
+}
+
+// RunSweepContext is RunSweep with cancellation: when ctx is cancelled,
+// in-flight points finish but unstarted points are abandoned and the
+// context error is returned. A failing grid point likewise cancels the
+// rest of the batch (fail-fast) — no result is returned on error, so
+// there is no point burning the remaining grid's compute.
+func RunSweepContext(ctx context.Context, opts SweepOptions) ([]SweepPoint, error) {
+	opts.withDefaults()
+	mpp, err := fullSunMPP()
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	grid := enumerateGrid(opts)
+	pts, err := batch.Map(ctx, grid, func(_ context.Context, p core.Params) (SweepPoint, error) {
+		res, err := controllerRun(p, sweepScenario(opts.Seed, opts.Duration),
+			opts.Duration, 47e-3, mpp.V, soc.MinOPP())
+		if err != nil {
+			cancel()
+			return SweepPoint{}, fmt.Errorf("sweep %+v: %w", p, err)
+		}
+		minV, _ := res.VC.Min()
+		return SweepPoint{
+			Params:    p,
+			Stability: res.StabilityWithin(0.05),
+			Survived:  !res.BrownedOut,
+			MinVC:     minV,
+			Instr:     res.Instructions,
+		}, nil
+	}, batch.Options{Workers: opts.Workers, OnProgress: opts.OnProgress})
+	if err != nil {
+		return nil, err
 	}
 	sort.SliceStable(pts, func(i, j int) bool {
 		if pts[i].Survived != pts[j].Survived {

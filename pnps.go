@@ -26,6 +26,9 @@
 package pnps
 
 import (
+	"context"
+
+	"pnps/internal/batch"
 	"pnps/internal/core"
 	"pnps/internal/experiments"
 	"pnps/internal/governor"
@@ -126,11 +129,52 @@ func ShadowEvent(depth, start, duration float64) IrradianceProfile {
 		Duration: duration, Edge: 0.4}
 }
 
+// Experiment and batch-execution types.
+type (
+	// ExperimentReport is the output of one paper table/figure
+	// regeneration.
+	ExperimentReport = experiments.Report
+	// RunAllOptions configures a parallel run of registered experiments.
+	RunAllOptions = experiments.RunAllOptions
+	// SweepOptions configures the Section III parameter grid search.
+	SweepOptions = experiments.SweepOptions
+	// SweepPoint is one scored parameter combination of the grid search.
+	SweepPoint = experiments.SweepPoint
+	// BatchOptions tunes the worker-pool batch engine (worker count,
+	// progress callback).
+	BatchOptions = batch.Options
+)
+
 // RunExperiment regenerates a paper table/figure by id (e.g. "fig12",
 // "table2"); ExperimentIDs lists the available ids.
 func RunExperiment(id string, seed int64) (*experiments.Report, error) {
 	return experiments.Run(id, seed)
 }
+
+// RunAllExperiments executes independent experiments concurrently on a
+// worker pool, returning reports in id order; see
+// experiments.RunAllOptions for worker count, seed and progress control.
+func RunAllExperiments(ctx context.Context, opts RunAllOptions) ([]*ExperimentReport, error) {
+	return experiments.RunAll(ctx, opts)
+}
+
+// RunParamSweep scores the (Vwidth, Vq, α, β) grid concurrently and
+// returns all points sorted by supply stability (survivors first). The
+// result is bit-identical for any SweepOptions.Workers value.
+func RunParamSweep(ctx context.Context, opts SweepOptions) ([]SweepPoint, error) {
+	return experiments.RunSweepContext(ctx, opts)
+}
+
+// BatchMap runs fn over items on a worker pool with deterministic,
+// input-ordered results — the execution engine underneath the sweep and
+// RunAllExperiments, exposed for custom simulation campaigns.
+func BatchMap[In, Out any](ctx context.Context, items []In, fn func(ctx context.Context, item In) (Out, error), opts BatchOptions) ([]Out, error) {
+	return batch.Map(ctx, items, fn, opts)
+}
+
+// BatchSeed derives a decorrelated, reproducible per-job seed from a
+// base seed and job index (for Monte-Carlo style batches).
+func BatchSeed(base int64, index int) int64 { return batch.Seed(base, index) }
 
 // ExperimentIDs lists the registered experiment ids.
 func ExperimentIDs() []string { return experiments.IDs() }

@@ -1,6 +1,8 @@
 package pnps
 
 import (
+	"context"
+	"strings"
 	"testing"
 
 	"pnps/internal/soc"
@@ -89,5 +91,45 @@ func TestFacadeExperiments(t *testing.T) {
 	}
 	if _, err := RunExperiment("missing", 1); err == nil {
 		t.Error("unknown id accepted")
+	}
+}
+
+func TestFacadeBatch(t *testing.T) {
+	ctx := context.Background()
+
+	reps, err := RunAllExperiments(ctx, RunAllOptions{IDs: []string{"fig4", "fig10"}, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 || reps[0].ID != "fig4" || reps[1].ID != "fig10" {
+		t.Error("RunAllExperiments ordering broken")
+	}
+
+	out, err := BatchMap(ctx, []int{1, 2, 3, 4},
+		func(_ context.Context, n int) (string, error) { return strings.Repeat("x", n), nil },
+		BatchOptions{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range out {
+		if len(s) != i+1 {
+			t.Fatalf("BatchMap out[%d] = %q", i, s)
+		}
+	}
+
+	if BatchSeed(7, 0) == BatchSeed(7, 1) || BatchSeed(7, 0) != BatchSeed(7, 0) {
+		t.Error("BatchSeed not decorrelated/deterministic")
+	}
+
+	pts, err := RunParamSweep(ctx, SweepOptions{
+		VWidths: []float64{0.144}, VQs: []float64{0.0479},
+		Alphas: []float64{0.12}, Betas: []float64{0.479},
+		Duration: 10, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 || pts[0].Params.VWidth != 0.144 {
+		t.Errorf("RunParamSweep points: %+v", pts)
 	}
 }
