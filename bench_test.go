@@ -18,6 +18,7 @@ import (
 	"pnps/internal/batch"
 	"pnps/internal/core"
 	"pnps/internal/experiments"
+	"pnps/internal/governor"
 	"pnps/internal/ode"
 	"pnps/internal/pv"
 	"pnps/internal/sim"
@@ -317,6 +318,72 @@ func BenchmarkRK23CircuitSecond(b *testing.B) {
 	}
 }
 
+// BenchmarkIntegratorSegment measures the per-segment cost of the
+// ODE layer the way the sim engine drives it: thousands of short
+// continuation segments. "reused" holds one Integrator (the engine's
+// configuration, zero steady-state allocations); "fresh" calls the RK23
+// wrapper, which allocates its stage buffers every segment.
+func BenchmarkIntegratorSegment(b *testing.B) {
+	arr := pv.SouthamptonArray()
+	sol := pv.NewSolver(arr)
+	rhs := func(_ float64, y, dydt []float64) {
+		i, _ := sol.CurrentAt(y[0], 900)
+		dydt[0] = (i - 2.5/y[0]) / 47e-3
+	}
+	opts := ode.Options{MaxStep: 0.25, RTol: 1e-6, ATol: 1e-7, InitialStep: 0.05}
+	b.Run("reused", func(b *testing.B) {
+		integ := ode.NewIntegrator()
+		y := []float64{5.3}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			t0 := float64(i) * 0.05
+			if _, err := integ.Integrate(rhs, t0, t0+0.05, y, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fresh", func(b *testing.B) {
+		y := []float64{5.3}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			t0 := float64(i) * 0.05
+			if _, err := ode.RK23(rhs, t0, t0+0.05, y, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPVSolverCurrentSolve is the warm-started counterpart of
+// BenchmarkPVCurrentSolve: the same voltage ladder through the per-run
+// accelerated solver.
+func BenchmarkPVSolverCurrentSolve(b *testing.B) {
+	sol := pv.NewSolver(pv.SouthamptonArray())
+	var acc float64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v := 4.0 + float64(i%200)*0.01
+		iout, err := sol.CurrentAt(v, 850)
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc += iout
+	}
+	_ = acc
+}
+
+// BenchmarkPVSolverAvailablePower exercises the fast Voc + MPP path on a
+// rotating irradiance set (after the first lap every query is memoised).
+func BenchmarkPVSolverAvailablePower(b *testing.B) {
+	sol := pv.NewSolver(pv.SouthamptonArray())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sol.AvailablePower(600 + float64(i%5)*100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkSimClosedLoopSecond(b *testing.B) {
 	// One simulated second of the full closed loop (PV + monitor +
 	// controller + platform), amortised: each iteration runs a fresh
@@ -334,6 +401,53 @@ func BenchmarkSimClosedLoopSecond(b *testing.B) {
 			Controller: ctrl, Duration: 1, SkipSeries: true,
 		})
 		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimControllerMinute is the representative end-to-end hot-path
+// benchmark: one simulated minute of the full power-neutral closed loop
+// (PV array + threshold monitor + controller + platform) under a cloud-
+// shadowed sky, with full time-series capture including the periodic
+// available-power MPP sampling. This is the per-run path every sweep
+// point and scenario experiment pays.
+func BenchmarkSimControllerMinute(b *testing.B) {
+	profile := pv.NewClouds(pv.Constant(900), pv.PartialSun(60), 42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plat := soc.NewDefaultPlatform()
+		plat.Reset(0, soc.MinOPP())
+		ctrl, err := core.New(core.DefaultParams(), 5.3, soc.MinOPP(), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(sim.Config{
+			Array: pv.SouthamptonArray(), Profile: profile,
+			Capacitance: 47e-3, InitialVC: 5.3, Platform: plat,
+			Controller: ctrl, Duration: 60,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimGovernorMinute is the baseline-governor counterpart of
+// BenchmarkSimControllerMinute: the same supply and platform driven by a
+// periodically sampling Linux governor instead of threshold interrupts.
+func BenchmarkSimGovernorMinute(b *testing.B) {
+	profile := pv.NewClouds(pv.Constant(900), pv.PartialSun(60), 42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plat := soc.NewDefaultPlatform()
+		plat.Reset(0, soc.MinOPP())
+		if _, err := sim.Run(sim.Config{
+			Array: pv.SouthamptonArray(), Profile: profile,
+			Capacitance: 47e-3, InitialVC: 5.3, Platform: plat,
+			Governor: governor.NewOndemand(), Duration: 60,
+		}); err != nil {
 			b.Fatal(err)
 		}
 	}

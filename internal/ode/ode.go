@@ -102,6 +102,12 @@ type Result struct {
 	Hits []EventHit
 	// Stopped is true if a terminal event ended the run before t1.
 	Stopped bool
+	// LastStep is the adaptive controller's step-size suggestion at the
+	// end of the run (excluding the truncation of the final step to the
+	// span end). Callers integrating many consecutive segments should
+	// feed it back as the next segment's InitialStep so each restart
+	// resumes at the established step instead of the span/100 heuristic.
+	LastStep float64
 }
 
 // ErrStepUnderflow is returned when the adaptive controller cannot meet the

@@ -1,216 +1,15 @@
 package ode
 
-import (
-	"fmt"
-	"math"
-)
-
 // RK23 integrates dy/dt = f(t,y) from t0 to t1 with the Bogacki–Shampine
 // 3(2) embedded pair (the method behind MATLAB's ode23), adapting the step
 // to the configured tolerances and localising any events in opts. y is
 // updated in place and aliased by the returned Result.
+//
+// RK23 is a convenience wrapper that allocates a fresh Integrator per
+// call; callers integrating many short segments should hold a reusable
+// Integrator instead.
 func RK23(f RHS, t0, t1 float64, y []float64, opts Options) (Result, error) {
-	if err := validateSpan(t0, t1, y); err != nil {
-		return Result{}, err
-	}
-	o := opts.withDefaults(t1 - t0)
-	n := len(y)
-
-	k1 := make([]float64, n)
-	k2 := make([]float64, n)
-	k3 := make([]float64, n)
-	k4 := make([]float64, n)
-	y1 := make([]float64, n)
-	y2 := make([]float64, n)
-	ytmp := make([]float64, n)
-	errv := make([]float64, n)
-	yPrev := make([]float64, n)
-
-	res := Result{T: t0, Y: y}
-
-	// Event bookkeeping: previous g values.
-	gPrev := make([]float64, len(o.Events))
-	for i, ev := range o.Events {
-		gPrev[i] = ev.G(t0, y)
-	}
-	if o.OnStep != nil {
-		o.OnStep(t0, y)
-	}
-
-	t := t0
-	h := clamp(o.InitialStep, o.MinStep, o.MaxStep)
-	f(t, y, k1) // FSAL seed
-
-	for t < t1 {
-		if res.Steps >= o.MaxSteps {
-			return res, fmt.Errorf("ode: RK23 exceeded MaxSteps=%d at t=%g", o.MaxSteps, t)
-		}
-		if t+h > t1 {
-			h = t1 - t
-		}
-		// Stage 2: k2 = f(t + h/2, y + h/2 k1)
-		axpy(ytmp, y, h/2, k1)
-		f(t+h/2, ytmp, k2)
-		// Stage 3: k3 = f(t + 3h/4, y + 3h/4 k2)
-		axpy(ytmp, y, 3*h/4, k2)
-		f(t+3*h/4, ytmp, k3)
-		// 3rd-order solution: y1 = y + h(2/9 k1 + 1/3 k2 + 4/9 k3)
-		for i := 0; i < n; i++ {
-			y1[i] = y[i] + h*(2.0/9.0*k1[i]+1.0/3.0*k2[i]+4.0/9.0*k3[i])
-		}
-		// Stage 4 (FSAL): k4 = f(t+h, y1)
-		f(t+h, y1, k4)
-		// 2nd-order solution: y2 = y + h(7/24 k1 + 1/4 k2 + 1/3 k3 + 1/8 k4)
-		for i := 0; i < n; i++ {
-			y2[i] = y[i] + h*(7.0/24.0*k1[i]+1.0/4.0*k2[i]+1.0/3.0*k3[i]+1.0/8.0*k4[i])
-			errv[i] = y1[i] - y2[i]
-		}
-		en := errNorm(errv, y, y1, o.ATol, o.RTol)
-
-		if en > 1 {
-			// Reject: shrink and retry.
-			res.Rejected++
-			h = math.Max(o.MinStep, h*math.Max(0.1, 0.9*math.Pow(en, -1.0/3.0)))
-			if h <= o.MinStep && en > 1 {
-				// One last attempt at MinStep before giving up happens
-				// naturally; if we are already at MinStep, fail.
-				if h == o.MinStep {
-					// Accept the MinStep result rather than loop forever
-					// only if the error is marginal; otherwise error out.
-					if en > 10 {
-						return res, fmt.Errorf("%w: t=%g h=%g en=%g y=%v k1=%v",
-							ErrStepUnderflow, t, h, en, y, k1)
-					}
-				} else {
-					continue
-				}
-			} else {
-				continue
-			}
-		}
-
-		// Accept the step.
-		copy(yPrev, y)
-		tPrev := t
-		copy(y, y1)
-		t += h
-		res.Steps++
-		res.T = t
-
-		// Event localisation over [tPrev, t] using cubic Hermite dense
-		// output built from (yPrev, k1) and (y, k4).
-		stopped, err := handleEvents(&res, o.Events, gPrev, tPrev, t, yPrev, y, k1, k4)
-		if err != nil {
-			return res, err
-		}
-		if stopped {
-			res.Stopped = true
-			if o.OnStep != nil {
-				o.OnStep(res.T, y)
-			}
-			return res, nil
-		}
-
-		if o.OnStep != nil {
-			o.OnStep(t, y)
-		}
-
-		// FSAL: k4 becomes next step's k1.
-		copy(k1, k4)
-		// Grow step.
-		if en == 0 {
-			h = o.MaxStep
-		} else {
-			h = h * math.Min(5, 0.9*math.Pow(en, -1.0/3.0))
-		}
-		h = clamp(h, o.MinStep, o.MaxStep)
-	}
-	return res, nil
-}
-
-// handleEvents scans for sign changes of each event function across the
-// accepted step and bisects the dense-output interpolant to localise them.
-// If a terminal event fires, the state y is rewound to the event point.
-func handleEvents(res *Result, events []Event, gPrev []float64, t0, t1 float64, y0, y1, f0, f1 []float64) (bool, error) {
-	if len(events) == 0 {
-		return false, nil
-	}
-	type hit struct {
-		idx int
-		t   float64
-	}
-	var hits []hit
-	for i := range events {
-		g1 := events[i].G(t1, y1)
-		g0 := gPrev[i]
-		crossed := false
-		switch {
-		case g0 == 0 && g1 == 0:
-			// Sitting on the surface; no new crossing.
-		case g0 <= 0 && g1 > 0 && events[i].Direction >= 0:
-			crossed = true
-		case g0 >= 0 && g1 < 0 && events[i].Direction <= 0:
-			crossed = true
-		}
-		if crossed {
-			tc := bisectEvent(events[i], t0, t1, y0, y1, f0, f1)
-			hits = append(hits, hit{i, tc})
-		}
-		gPrev[i] = g1
-	}
-	if len(hits) == 0 {
-		return false, nil
-	}
-	// Process hits in time order.
-	for i := 1; i < len(hits); i++ {
-		for j := i; j > 0 && hits[j].t < hits[j-1].t; j-- {
-			hits[j], hits[j-1] = hits[j-1], hits[j]
-		}
-	}
-	yc := make([]float64, len(y0))
-	for _, h := range hits {
-		hermite(yc, t0, t1, h.t, y0, y1, f0, f1)
-		res.Hits = append(res.Hits, EventHit{
-			Index: h.idx,
-			Name:  events[h.idx].Name,
-			T:     h.t,
-			Y:     append([]float64(nil), yc...),
-		})
-		if events[h.idx].Terminal {
-			// Rewind state to the event point.
-			copy(y1, yc)
-			res.T = h.t
-			// Refresh gPrev for all events at the rewound state so a
-			// subsequent integration restart is consistent.
-			for i := range events {
-				gPrev[i] = events[i].G(h.t, y1)
-			}
-			return true, nil
-		}
-	}
-	return false, nil
-}
-
-// bisectEvent localises g=0 within [t0,t1] on the Hermite interpolant to
-// ~1e-12 relative precision.
-func bisectEvent(ev Event, t0, t1 float64, y0, y1, f0, f1 []float64) float64 {
-	yc := make([]float64, len(y0))
-	ga := ev.G(t0, y0)
-	a, b := t0, t1
-	for iter := 0; iter < 100 && (b-a) > 1e-12*math.Max(1, math.Abs(b)); iter++ {
-		m := 0.5 * (a + b)
-		hermite(yc, t0, t1, m, y0, y1, f0, f1)
-		gm := ev.G(m, yc)
-		if gm == 0 {
-			return m
-		}
-		if (ga < 0) == (gm < 0) {
-			a, ga = m, gm
-		} else {
-			b = m
-		}
-	}
-	return 0.5 * (a + b)
+	return NewIntegrator().Integrate(f, t0, t1, y, opts)
 }
 
 // hermite evaluates the cubic Hermite interpolant through (t0,y0,f0) and

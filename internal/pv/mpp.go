@@ -9,24 +9,11 @@ type MPP struct {
 	P float64 // maximum power, watts
 }
 
-// MaximumPowerPoint locates the MPP at irradiance g by golden-section
-// search over [0, Voc]; P(V) is unimodal for the single-diode model.
-// At zero irradiance it returns a zero MPP.
-func (a *Array) MaximumPowerPoint(g float64) (MPP, error) {
-	if g <= 0 {
-		return MPP{}, nil
-	}
-	voc, err := a.OpenCircuitVoltage(g)
-	if err != nil {
-		return MPP{}, err
-	}
-	power := func(v float64) float64 {
-		p, perr := a.PowerAt(v, g)
-		if perr != nil {
-			return math.Inf(-1)
-		}
-		return p
-	}
+// goldenMPPVoltage locates the voltage maximising power over [0, voc] by
+// golden-section search; P(V) is unimodal for the single-diode model. It
+// is shared by the exact and accelerated MPP solvers so their search
+// semantics (bracketing, tolerance, iteration cap) cannot diverge.
+func goldenMPPVoltage(voc float64, power func(v float64) float64) float64 {
 	const phi = 0.6180339887498949
 	lo, hi := 0.0, voc
 	x1 := hi - phi*(hi-lo)
@@ -43,7 +30,26 @@ func (a *Array) MaximumPowerPoint(g float64) (MPP, error) {
 			f1 = power(x1)
 		}
 	}
-	v := 0.5 * (lo + hi)
+	return 0.5 * (lo + hi)
+}
+
+// MaximumPowerPoint locates the MPP at irradiance g by golden-section
+// search over [0, Voc]. At zero irradiance it returns a zero MPP.
+func (a *Array) MaximumPowerPoint(g float64) (MPP, error) {
+	if g <= 0 {
+		return MPP{}, nil
+	}
+	voc, err := a.OpenCircuitVoltage(g)
+	if err != nil {
+		return MPP{}, err
+	}
+	v := goldenMPPVoltage(voc, func(v float64) float64 {
+		p, perr := a.PowerAt(v, g)
+		if perr != nil {
+			return math.Inf(-1)
+		}
+		return p
+	})
 	i, err := a.CurrentAt(v, g)
 	if err != nil {
 		return MPP{}, err

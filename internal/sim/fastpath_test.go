@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"pnps/internal/core"
+	"pnps/internal/pv"
+	"pnps/internal/soc"
+)
+
+func controllerConfig(t *testing.T, profile pv.Profile, duration float64) Config {
+	t.Helper()
+	plat := soc.NewDefaultPlatform()
+	plat.Reset(0, soc.MinOPP())
+	ctrl, err := core.New(core.DefaultParams(), 5.3, soc.MinOPP(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Array: pv.SouthamptonArray(), Profile: profile,
+		Capacitance: 47e-3, InitialVC: 5.3, Platform: plat,
+		Controller: ctrl, Duration: duration,
+	}
+}
+
+// TestNoDuplicateBoundarySamples is the regression test for the segment
+// double-recording bug: every per-segment integration used to re-record
+// its start point (already recorded as the previous segment's end), so
+// each boundary appeared twice in the series, biasing the unweighted
+// Series.Mean(). Equal-time samples are still allowed when the value
+// steps (zero-order-hold discontinuities); only exact (t, v) duplicates
+// are forbidden.
+func TestNoDuplicateBoundarySamples(t *testing.T) {
+	res, err := Run(controllerConfig(t, pv.Sinusoid{Mean: 700, Amplitude: 280, Period: 10}, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Interrupts == 0 {
+		t.Fatal("scenario produced no interrupts; boundary dedupe not exercised")
+	}
+	for _, s := range []struct {
+		name   string
+		times  []float64
+		values []float64
+	}{
+		{"VC", res.VC.Times(), res.VC.Values()},
+		{"PowerConsumed", res.PowerConsumed.Times(), res.PowerConsumed.Values()},
+		{"FreqGHz", res.FreqGHz.Times(), res.FreqGHz.Values()},
+		{"TotalCores", res.TotalCores.Times(), res.TotalCores.Values()},
+	} {
+		dups := 0
+		for i := 1; i < len(s.times); i++ {
+			if s.times[i] == s.times[i-1] && s.values[i] == s.values[i-1] {
+				dups++
+			}
+		}
+		if dups > 0 {
+			t.Errorf("%s: %d exact duplicate samples of %d", s.name, dups, len(s.times))
+		}
+	}
+}
+
+// exactSource routes node-current solves through the exact bracketed
+// Array.CurrentAt, bypassing the engine's accelerated PVSource detection.
+type exactSource struct {
+	arr     *pv.Array
+	profile pv.Profile
+}
+
+func (s exactSource) Current(t, vc float64) (float64, error) {
+	return s.arr.CurrentAt(vc, s.profile.Irradiance(t))
+}
+
+// TestFastSourceMatchesExactSolves runs the same controller scenario
+// through the accelerated per-engine solver and through the exact
+// bracketed solver, and requires the end-to-end results to agree: the
+// warm-started Newton fast path must be a pure optimisation, not a model
+// change.
+func TestFastSourceMatchesExactSolves(t *testing.T) {
+	profile := pv.Sinusoid{Mean: 700, Amplitude: 280, Period: 10}
+	const duration = 30.0
+
+	fast, err := Run(controllerConfig(t, profile, duration))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := controllerConfig(t, profile, duration)
+	cfg.Source = exactSource{arr: cfg.Array, profile: profile}
+	exact, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if fast.Interrupts != exact.Interrupts || fast.Brownouts != exact.Brownouts {
+		t.Errorf("discrete behaviour diverged: interrupts %d vs %d, brownouts %d vs %d",
+			fast.Interrupts, exact.Interrupts, fast.Brownouts, exact.Brownouts)
+	}
+	if d := math.Abs(fast.FinalVC - exact.FinalVC); d > 1e-6 {
+		t.Errorf("FinalVC: fast %g vs exact %g (|Δ|=%g)", fast.FinalVC, exact.FinalVC, d)
+	}
+	if rel := math.Abs(fast.Instructions-exact.Instructions) / (1 + exact.Instructions); rel > 1e-9 {
+		t.Errorf("Instructions: fast %g vs exact %g", fast.Instructions, exact.Instructions)
+	}
+}

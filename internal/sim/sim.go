@@ -145,6 +145,7 @@ type engine struct {
 	cfg      Config
 	src      Source
 	pvSrc    *PVSource // non-nil when the source is photovoltaic
+	fast     *pv.Solver
 	platform *soc.Platform
 	ctrl     *core.Controller
 	gov      governor.Governor
@@ -159,6 +160,18 @@ type engine struct {
 	// restart (platform.Reset zeroes the platform's own counters).
 	instrBase  float64
 	framesBase float64
+
+	// Per-run integration hot-path state, allocated once: a reusable
+	// stepper, the 1-dim state buffer, the event scratch slice and the
+	// hoisted RHS/OnStep/event closures (rebuilding them per segment cost
+	// an allocation each across tens of thousands of segments).
+	integ                              ode.Integrator
+	y                                  [1]float64
+	lastH                              float64 // step-size carry across segments
+	events                             []ode.Event
+	rhsFn                              ode.RHS
+	onStepFn                           func(t float64, y []float64)
+	evBrownout, evVlow, evVhigh, evRec ode.Event
 
 	res Result
 }
@@ -181,6 +194,12 @@ func Run(cfg Config) (*Result, error) {
 		e.pvSrc = &p
 	} else if p, ok := e.src.(*PVSource); ok {
 		e.pvSrc = p
+	}
+	if e.pvSrc != nil {
+		// Per-engine accelerated solve layer: warm-started Newton for the
+		// node current, memoised Voc/MPP for the available-power trace.
+		// Owned by this run, so parallel sweeps stay bit-reproducible.
+		e.fast = pv.NewSolver(e.pvSrc.Array)
 	}
 	e.res.TargetVolts = cfg.TargetVolts
 	if !cfg.SkipSeries {
@@ -205,6 +224,41 @@ func Run(cfg Config) (*Result, error) {
 		}
 		e.hw = hw
 		e.res.MonitorPowerWatts = hw.PowerWatts()
+	}
+
+	// Hoist the integration closures once per run; the discrete-event loop
+	// integrates tens of thousands of short segments and must not rebuild
+	// them (or the event set) each time.
+	e.rhsFn = e.rhs
+	e.onStepFn = func(t float64, y []float64) { e.record(t, y[0]) }
+	e.evBrownout = ode.Event{
+		Name:      "brownout",
+		G:         func(_ float64, y []float64) float64 { return y[0] - soc.MinOperatingVolts },
+		Direction: -1,
+		Terminal:  true,
+	}
+	// The threshold closures read the channels live: thresholds are only
+	// reprogrammed between segments, so within one integration they are
+	// constant.
+	if e.hw != nil {
+		e.evVlow = ode.Event{
+			Name:      "vlow",
+			G:         func(_ float64, y []float64) float64 { return y[0] - e.hw.Low.Threshold() },
+			Direction: -1,
+			Terminal:  true,
+		}
+		e.evVhigh = ode.Event{
+			Name:      "vhigh",
+			G:         func(_ float64, y []float64) float64 { return y[0] - e.hw.High.Threshold() },
+			Direction: +1,
+			Terminal:  true,
+		}
+	}
+	e.evRec = ode.Event{
+		Name:      "recover",
+		G:         func(_ float64, y []float64) float64 { return y[0] - e.cfg.RestartVolts },
+		Direction: +1,
+		Terminal:  true,
 	}
 
 	if err := e.run(); err != nil {
@@ -281,7 +335,13 @@ func (e *engine) rhs(t float64, y, dydt []float64) {
 	if vc < 0 {
 		vc = 0
 	}
-	isrc, err := e.src.Current(t, vc)
+	var isrc float64
+	var err error
+	if e.fast != nil {
+		isrc, err = e.fast.CurrentAt(vc, e.pvSrc.Profile.Irradiance(t))
+	} else {
+		isrc, err = e.src.Current(t, vc)
+	}
 	if err != nil {
 		// Out-of-range solves should not occur with validated params;
 		// treat as zero harvest rather than aborting mid-integration.
@@ -302,12 +362,18 @@ func (e *engine) rhs(t float64, y, dydt []float64) {
 	}
 }
 
-// record samples every enabled series at (t, vc).
+// record samples every enabled series at (t, vc). Appends are deduplicated
+// per series: the integrator records the start of every continuation
+// segment and the discrete handlers re-record after acting, so each
+// segment boundary would otherwise appear twice with identical values —
+// biasing the sample-weighted Series.Mean() and bloating the traces. An
+// equal-time sample with a *changed* value (an OPP commit, a brownout
+// power drop) is still recorded, preserving zero-order-hold steps.
 func (e *engine) record(t, vc float64) {
 	if e.cfg.SkipSeries {
 		return
 	}
-	e.res.VC.Append(t, vc)
+	e.res.VC.AppendDedupe(t, vc)
 	pw := 0.0
 	if e.alive {
 		pw = e.platform.PowerDraw()
@@ -315,12 +381,12 @@ func (e *engine) record(t, vc float64) {
 			pw += e.hw.PowerWatts()
 		}
 	}
-	e.res.PowerConsumed.Append(t, pw)
+	e.res.PowerConsumed.AppendDedupe(t, pw)
 	opp := e.platform.CommittedOPP()
-	e.res.FreqGHz.Append(t, opp.Frequency()/1e9)
-	e.res.LittleCores.Append(t, float64(opp.Config.Little))
-	e.res.BigCores.Append(t, float64(opp.Config.Big))
-	e.res.TotalCores.Append(t, float64(opp.Config.TotalCores()))
+	e.res.FreqGHz.AppendDedupe(t, opp.Frequency()/1e9)
+	e.res.LittleCores.AppendDedupe(t, float64(opp.Config.Little))
+	e.res.BigCores.AppendDedupe(t, float64(opp.Config.Big))
+	e.res.TotalCores.AppendDedupe(t, float64(opp.Config.TotalCores()))
 
 	if e.pvSrc == nil {
 		return
@@ -336,7 +402,7 @@ func (e *engine) record(t, vc float64) {
 // paper's "estimated available harvested power" (Fig. 14).
 func (e *engine) appendAvailable(t float64) {
 	g := e.pvSrc.Profile.Irradiance(t)
-	p, err := e.pvSrc.Array.AvailablePower(g)
+	p, err := e.fast.AvailablePower(g)
 	if err == nil {
 		e.res.PowerAvailable.Append(t, p)
 	}
@@ -383,29 +449,31 @@ func (e *engine) run() error {
 			segEnd = math.Nextafter(e.now, math.Inf(1))
 		}
 
-		// Build events for this segment.
-		events := e.buildEvents()
-
-		y := []float64{e.vc}
-		onStep := func(t float64, y []float64) {
-			e.record(t, y[0])
-		}
-		res, err := ode.RK23(e.rhs, e.now, segEnd, y, ode.Options{
-			MaxStep: e.cfg.MaxStep,
-			RTol:    1e-6,
-			ATol:    1e-7,
-			Events:  events,
-			OnStep:  onStep,
+		// Integrate the segment with the persistent stepper, the hoisted
+		// closures and the reused event/state buffers.
+		res, err := e.integ.Integrate(e.rhsFn, e.now, segEnd, e.stateBuf(), ode.Options{
+			// Resume at the step size established by the previous segment
+			// (zero on the first segment selects the default heuristic):
+			// interrupt-driven runs integrate thousands of short segments,
+			// and regrowing from the span/100 default each time costs
+			// several extra RHS evaluations per segment.
+			InitialStep: e.lastH,
+			MaxStep:     e.cfg.MaxStep,
+			RTol:        1e-6,
+			ATol:        1e-7,
+			Events:      e.buildEvents(),
+			OnStep:      e.onStepFn,
 		})
 		if err != nil {
 			return fmt.Errorf("sim: integration failed at t=%g: %w", e.now, err)
 		}
+		e.lastH = res.LastStep
 		// Account alive time across the integrated span.
 		if e.alive {
 			e.aliveFor += res.T - e.now
 		}
 		e.now = res.T
-		e.vc = y[0]
+		e.vc = e.y[0]
 		if e.alive {
 			if err := e.platform.Advance(e.now); err != nil {
 				return err
@@ -472,45 +540,30 @@ func (e *engine) run() error {
 	return nil
 }
 
-// buildEvents assembles the ODE event set for the current discrete state.
+// stateBuf loads the current Vc into the persistent 1-dim state buffer.
+func (e *engine) stateBuf() []float64 {
+	e.y[0] = e.vc
+	return e.y[:]
+}
+
+// buildEvents assembles the ODE event set for the current discrete state
+// from the hoisted event closures, reusing the engine's scratch slice.
 func (e *engine) buildEvents() []ode.Event {
-	var evs []ode.Event
+	evs := e.events[:0]
 	if e.alive {
-		evs = append(evs, ode.Event{
-			Name:      "brownout",
-			G:         func(_ float64, y []float64) float64 { return y[0] - soc.MinOperatingVolts },
-			Direction: -1,
-			Terminal:  true,
-		})
+		evs = append(evs, e.evBrownout)
 		// Threshold interrupts are only armed while the platform is idle:
 		// the real ISR performs the cpufreq/hot-plug syscalls synchronously,
 		// so crossings during an actuation are latched, not serviced. The
 		// post-actuation level check in run() replays a latched crossing.
 		_, busy := e.platform.NextCompletion()
 		if e.ctrl != nil && e.hw != nil && !busy {
-			vl := e.hw.Low.Threshold()
-			vh := e.hw.High.Threshold()
-			evs = append(evs, ode.Event{
-				Name:      "vlow",
-				G:         func(_ float64, y []float64) float64 { return y[0] - vl },
-				Direction: -1,
-				Terminal:  true,
-			}, ode.Event{
-				Name:      "vhigh",
-				G:         func(_ float64, y []float64) float64 { return y[0] - vh },
-				Direction: +1,
-				Terminal:  true,
-			})
+			evs = append(evs, e.evVlow, e.evVhigh)
 		}
 	} else if e.cfg.BrownoutRestart {
-		rv := e.cfg.RestartVolts
-		evs = append(evs, ode.Event{
-			Name:      "recover",
-			G:         func(_ float64, y []float64) float64 { return y[0] - rv },
-			Direction: +1,
-			Terminal:  true,
-		})
+		evs = append(evs, e.evRec)
 	}
+	e.events = evs
 	return evs
 }
 
@@ -544,18 +597,19 @@ func (e *engine) onThresholdInterrupt(which core.Crossing) error {
 	// delay without threshold events (the hardware latches the edge).
 	delay := ch.InterruptDelay()
 	if delay > 0 {
-		y := []float64{e.vc}
-		res, err := ode.RK23(e.rhs, e.now, e.now+delay, y, ode.Options{
-			MaxStep: e.cfg.MaxStep,
-			RTol:    1e-6,
-			ATol:    1e-7,
+		res, err := e.integ.Integrate(e.rhsFn, e.now, e.now+delay, e.stateBuf(), ode.Options{
+			InitialStep: e.lastH,
+			MaxStep:     e.cfg.MaxStep,
+			RTol:        1e-6,
+			ATol:        1e-7,
 		})
 		if err != nil {
 			return fmt.Errorf("sim: interrupt-delay integration failed: %w", err)
 		}
+		e.lastH = res.LastStep
 		e.aliveFor += res.T - e.now
 		e.now = res.T
-		e.vc = y[0]
+		e.vc = e.y[0]
 		if err := e.platform.Advance(e.now); err != nil {
 			return err
 		}

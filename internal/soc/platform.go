@@ -322,61 +322,70 @@ func planSteps(from, to OPP, order TransitionOrder) ([]stepPlan, error) {
 	if !from.Valid() || !to.Valid() {
 		return nil, fmt.Errorf("soc: invalid OPP in transition %v -> %v", from, to)
 	}
-	// Build the individual moves for each dimension.
-	type move struct {
-		dFreq, dLittle, dBig int
+	df := to.FreqIdx - from.FreqIdx
+	dl := to.Config.Little - from.Config.Little
+	db := to.Config.Big - from.Config.Big
+
+	// Emit the single-unit moves straight into the exactly-sized result —
+	// this runs once per threshold interrupt, so it must not build
+	// intermediate move slices.
+	out := make([]stepPlan, 0, abs(df)+abs(dl)+abs(db))
+	cur := from
+	var stepErr error
+	emit := func(dFreq, dLittle, dBig int) {
+		if stepErr != nil {
+			return
+		}
+		next := cur
+		next.FreqIdx += dFreq
+		next.Config.Little += dLittle
+		next.Config.Big += dBig
+		if !next.Valid() {
+			stepErr = fmt.Errorf("soc: step planning left the envelope at %v", next)
+			return
+		}
+		out = append(out, stepPlan{from: cur, to: next, isHotplug: dFreq == 0})
+		cur = next
 	}
-	var freqMoves, coreMoves []move
-	for i := from.FreqIdx; i != to.FreqIdx; {
-		if to.FreqIdx > i {
-			freqMoves = append(freqMoves, move{dFreq: 1})
-			i++
-		} else {
-			freqMoves = append(freqMoves, move{dFreq: -1})
-			i--
+	freqMoves := func() {
+		s := 1
+		if df < 0 {
+			s = -1
+		}
+		for i := 0; i < abs(df); i++ {
+			emit(s, 0, 0)
 		}
 	}
 	// Core moves: when shedding, drop big cores first (they cost the most
 	// power); when adding, bring up LITTLE cores first (cheapest power for
 	// the earliest throughput).
-	dl := to.Config.Little - from.Config.Little
-	db := to.Config.Big - from.Config.Big
-	for i := 0; i < -db; i++ {
-		coreMoves = append(coreMoves, move{dBig: -1})
-	}
-	for i := 0; i < -dl; i++ {
-		coreMoves = append(coreMoves, move{dLittle: -1})
-	}
-	for i := 0; i < dl; i++ {
-		coreMoves = append(coreMoves, move{dLittle: 1})
-	}
-	for i := 0; i < db; i++ {
-		coreMoves = append(coreMoves, move{dBig: 1})
+	coreMoves := func() {
+		for i := 0; i < -db; i++ {
+			emit(0, 0, -1)
+		}
+		for i := 0; i < -dl; i++ {
+			emit(0, -1, 0)
+		}
+		for i := 0; i < dl; i++ {
+			emit(0, 1, 0)
+		}
+		for i := 0; i < db; i++ {
+			emit(0, 0, 1)
+		}
 	}
 
 	scalingDown := to.Config.TotalCores() < from.Config.TotalCores() ||
 		(to.Config.TotalCores() == from.Config.TotalCores() && to.FreqIdx < from.FreqIdx)
 
-	var seq []move
-	coresLead := (order == CoreFirst) == scalingDown
-	if coresLead {
-		seq = append(append(seq, coreMoves...), freqMoves...)
+	if coresLead := (order == CoreFirst) == scalingDown; coresLead {
+		coreMoves()
+		freqMoves()
 	} else {
-		seq = append(append(seq, freqMoves...), coreMoves...)
+		freqMoves()
+		coreMoves()
 	}
-
-	out := make([]stepPlan, 0, len(seq))
-	cur := from
-	for _, mv := range seq {
-		next := cur
-		next.FreqIdx += mv.dFreq
-		next.Config.Little += mv.dLittle
-		next.Config.Big += mv.dBig
-		if !next.Valid() {
-			return nil, fmt.Errorf("soc: step planning left the envelope at %v", next)
-		}
-		out = append(out, stepPlan{from: cur, to: next, isHotplug: mv.dFreq == 0})
-		cur = next
+	if stepErr != nil {
+		return nil, stepErr
 	}
 	if cur != to {
 		return nil, fmt.Errorf("soc: step planning did not reach target: %v != %v", cur, to)

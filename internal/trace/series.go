@@ -38,6 +38,20 @@ func (s *Series) Append(t, v float64) {
 	s.values = append(s.values, v)
 }
 
+// AppendDedupe adds a sample unless it exactly duplicates the last
+// recorded (time, value) pair, reporting whether it was appended. Equal
+// times with a *different* value are still recorded — that is how a
+// zero-order-hold step change (e.g. a power drop at a brownout instant)
+// is represented — but exact duplicates would bias the sample-weighted
+// Mean() and bloat traces recorded across segmented integrations.
+func (s *Series) AppendDedupe(t, v float64) bool {
+	if n := len(s.times); n > 0 && s.times[n-1] == t && s.values[n-1] == v {
+		return false
+	}
+	s.Append(t, v)
+	return true
+}
+
 // AppendStrict adds a sample, returning an error if t precedes the last
 // recorded time.
 func (s *Series) AppendStrict(t, v float64) error {
@@ -281,7 +295,14 @@ func (s *Series) Resample(period float64) (*Series, error) {
 	out := NewSeries(s.Name, s.Unit)
 	t0, _ := s.First()
 	t1, _ := s.Last()
-	for t := t0; t <= t1+period/2; t += period {
+	// Sample times are computed as t0 + i·period rather than by repeated
+	// addition, which accumulates rounding error over long spans (hours of
+	// simulated time at sub-second periods drift by many microseconds).
+	for i := 0; ; i++ {
+		t := t0 + float64(i)*period
+		if t > t1+period/2 {
+			break
+		}
 		v, err := s.Interp(t)
 		if err != nil {
 			return nil, err

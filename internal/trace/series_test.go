@@ -151,6 +151,64 @@ func TestResample(t *testing.T) {
 	}
 }
 
+// TestResampleNoAccumulatedDrift is the regression test for the float
+// accumulation bug: computing sample times by repeated `t += period`
+// drifts by many ULPs over a long span, so resampling a multi-hour trace
+// at a period with no exact binary representation produced sample times
+// visibly off the grid (and could drop the final sample). Times must be
+// exactly t0 + i·period.
+func TestResampleNoAccumulatedDrift(t *testing.T) {
+	s := NewSeries("v", "V")
+	// Six simulated hours, sampled every 7 s.
+	const span = 6 * 3600.0
+	for tt := 0.0; tt <= span; tt += 7 {
+		s.Append(tt, tt)
+	}
+	const period = 0.1 // no exact binary representation
+	r, err := s.Resample(period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, _ := s.Last()
+	wantN := int(math.Floor((t1+period/2)/period)) + 1
+	if r.Len() != wantN {
+		t.Fatalf("resampled to %d points, want %d", r.Len(), wantN)
+	}
+	for i := 0; i < r.Len(); i += 1000 {
+		tt, _ := r.At(i)
+		if want := float64(i) * period; tt != want {
+			t.Fatalf("sample %d at t=%.17g, want exactly %.17g (drift %g)", i, tt, want, tt-want)
+		}
+	}
+	if last, _ := r.Last(); math.Abs(last-t1) > period {
+		t.Errorf("final sample at t=%g, want ≈%g", last, t1)
+	}
+}
+
+func TestAppendDedupe(t *testing.T) {
+	s := NewSeries("v", "V")
+	if !s.AppendDedupe(0, 1) {
+		t.Error("first sample rejected")
+	}
+	if s.AppendDedupe(0, 1) {
+		t.Error("exact duplicate accepted")
+	}
+	if !s.AppendDedupe(0, 2) {
+		t.Error("same-time step change rejected")
+	}
+	if !s.AppendDedupe(1, 2) {
+		t.Error("new-time sample rejected")
+	}
+	if s.Len() != 3 {
+		t.Errorf("series holds %d samples, want 3", s.Len())
+	}
+	// Mean must reflect the deduped samples only.
+	m, err := s.Mean()
+	if err != nil || m != (1+2+2)/3.0 {
+		t.Errorf("Mean = %g, %v", m, err)
+	}
+}
+
 func TestDecimateKeepsEnds(t *testing.T) {
 	s := NewSeries("x", "")
 	for i := 0; i < 10; i++ {
