@@ -1,18 +1,25 @@
-// Command pnsim regenerates the paper's evaluation artefacts. Each
-// experiment id corresponds to a table or figure of "Power Neutral
-// Performance Scaling for Energy Harvesting MP-SoCs" (DATE 2017); see
-// DESIGN.md for the index.
+// Command pnsim regenerates the paper's evaluation artefacts and runs
+// named scenarios from the declarative registry. Each experiment id
+// corresponds to a table or figure of "Power Neutral Performance Scaling
+// for Energy Harvesting MP-SoCs" (DATE 2017); see DESIGN.md for the
+// index.
 //
 // Usage:
 //
 //	pnsim [-seed N] [-csv dir] [-workers N] <experiment>...
 //	pnsim -all
+//	pnsim -scenario name [-mc N]
 //	pnsim -list
 //
 // With -csv, every series the experiment records is written as
 // <dir>/<experiment>.csv for external plotting. Experiments are
 // independent and execute concurrently on -workers goroutines (default
 // GOMAXPROCS); reports are printed in the order the ids were given.
+//
+// -scenario runs one registered scenario (see -list for names) and
+// prints its outcome; with -mc N it becomes a Monte-Carlo campaign of N
+// seed-varied repetitions fanned over -workers goroutines, reporting
+// the deterministic aggregate.
 package main
 
 import (
@@ -24,6 +31,8 @@ import (
 	"runtime"
 
 	"pnps/internal/experiments"
+	"pnps/internal/scenario"
+	"pnps/internal/stats"
 	"pnps/internal/trace"
 )
 
@@ -31,24 +40,40 @@ func main() {
 	var (
 		seed    = flag.Int64("seed", experiments.DefaultSeed, "random seed for stochastic scenarios")
 		csvDir  = flag.String("csv", "", "directory to write per-experiment CSV series into")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent experiment executions")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent experiment/campaign executions")
 		all     = flag.Bool("all", false, "run every registered experiment")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
+		list    = flag.Bool("list", false, "list experiment ids and scenario names, then exit")
+		scn     = flag.String("scenario", "", "run a registered scenario instead of experiments")
+		mc      = flag.Int("mc", 1, "with -scenario: Monte-Carlo repetitions (campaign mode when > 1)")
 	)
 	flag.Parse()
 
 	if *list {
+		fmt.Println("experiments:")
 		for _, id := range experiments.IDs() {
-			fmt.Println(id)
+			fmt.Printf("  %s\n", id)
+		}
+		fmt.Println("scenarios:")
+		for _, s := range scenario.List() {
+			fmt.Printf("  %-18s %s\n", s.Name, s.Description)
 		}
 		return
 	}
+
+	if *scn != "" {
+		if err := runScenario(*scn, *seed, *mc, *workers, *csvDir); err != nil {
+			fmt.Fprintf(os.Stderr, "pnsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	ids := flag.Args()
 	if *all {
 		ids = experiments.IDs()
 	}
 	if len(ids) == 0 {
-		fmt.Fprintln(os.Stderr, "pnsim: no experiments given; try -list or -all")
+		fmt.Fprintln(os.Stderr, "pnsim: no experiments given; try -list, -all or -scenario")
 		os.Exit(2)
 	}
 	reps, runErr := experiments.RunAll(context.Background(), experiments.RunAllOptions{
@@ -61,7 +86,7 @@ func main() {
 		}
 		fmt.Println(rep.String())
 		if *csvDir != "" && len(rep.Series) > 0 {
-			if err := writeCSV(*csvDir, ids[i], rep); err != nil {
+			if err := writeCSV(*csvDir, ids[i], rep.Series...); err != nil {
 				fmt.Fprintf(os.Stderr, "pnsim: csv %s: %v\n", ids[i], err)
 				failed = true
 			}
@@ -75,7 +100,68 @@ func main() {
 	}
 }
 
-func writeCSV(dir, id string, rep *experiments.Report) error {
+// runScenario executes one registered scenario, or a Monte-Carlo
+// campaign of it when mc > 1.
+func runScenario(name string, seed int64, mc, workers int, csvDir string) error {
+	spec, ok := scenario.Lookup(name)
+	if !ok {
+		return fmt.Errorf("unknown scenario %q (known: %v)", name, scenario.Names())
+	}
+	if mc <= 1 {
+		res, err := spec.Run(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("scenario %s (seed %d, %.0f s)\n", name, seed, spec.Duration)
+		fmt.Printf("  survived:            %v\n", !res.BrownedOut)
+		fmt.Printf("  lifetime:            %.1f s\n", res.LifetimeSeconds)
+		fmt.Printf("  brownouts/restarts:  %d/%d\n", res.Brownouts, res.Restarts)
+		fmt.Printf("  instructions:        %.2f G\n", res.Instructions/1e9)
+		fmt.Printf("  threshold interrupts:%d\n", res.Interrupts)
+		fmt.Printf("  final supply:        %.3f V\n", res.FinalVC)
+		fmt.Printf("  within 5%% of target: %.1f%%\n", res.StabilityWithin(0.05)*100)
+		fmt.Printf("  stored energy:       %.3f J -> %.3f J\n",
+			res.StorageEnergyStartJ, res.StorageEnergyEndJ)
+		if csvDir != "" && res.VC != nil {
+			return writeCSV(csvDir, "scenario-"+name, res.VC, res.PowerConsumed, res.FreqGHz)
+		}
+		return nil
+	}
+
+	out, err := scenario.Campaign{
+		Base: spec, Runs: mc, Seed: seed, Workers: workers,
+		OnProgress: func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rpnsim: %d/%d campaign runs", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		},
+	}.Run(context.Background())
+	if err != nil {
+		return err
+	}
+	if csvDir != "" {
+		if err := writeCampaignCSV(csvDir, "campaign-"+name, out); err != nil {
+			return err
+		}
+	}
+	s := out.Summary
+	fmt.Printf("campaign %s: %d runs (base seed %d)\n", name, s.Runs, seed)
+	fmt.Printf("  survival rate:      %.1f%%\n", s.SurvivalRate*100)
+	fmt.Printf("  total brownouts:    %d\n", s.TotalBrownouts)
+	p := func(label, unit string, sm stats.Summary, scale float64) {
+		fmt.Printf("  %-19s mean %.3f %s (min %.3f, max %.3f, σ %.3f)\n",
+			label+":", sm.Mean*scale, unit, sm.Min*scale, sm.Max*scale, sm.StdDev*scale)
+	}
+	p("instructions", "G", s.Instructions, 1e-9)
+	p("lifetime", "s", s.LifetimeSeconds, 1)
+	p("final supply", "V", s.FinalVC, 1)
+	p("storage Δenergy", "J", s.StorageEnergyDeltaJ, 1)
+	return nil
+}
+
+// writeCampaignCSV exports the per-run scalar outcomes of a campaign.
+func writeCampaignCSV(dir, id string, out *scenario.Outcome) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -85,7 +171,32 @@ func writeCSV(dir, id string, rep *experiments.Report) error {
 		return err
 	}
 	defer f.Close()
-	if err := trace.WriteCSV(f, rep.Series...); err != nil {
+	if _, err := fmt.Fprintln(f, "run,seed,survived,brownouts,lifetime_s,instructions,final_vc_v,storage_denergy_j"); err != nil {
+		return err
+	}
+	for _, r := range out.Results {
+		res := r.Result
+		if _, err := fmt.Fprintf(f, "%d,%d,%v,%d,%g,%g,%g,%g\n",
+			r.Index, r.Seed, !res.BrownedOut, res.Brownouts, res.LifetimeSeconds,
+			res.Instructions, res.FinalVC, res.StorageEnergyEndJ-res.StorageEnergyStartJ); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %s\n", path)
+	return f.Close()
+}
+
+func writeCSV(dir, id string, series ...*trace.Series) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, id+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.WriteCSV(f, series...); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s\n", path)

@@ -4,12 +4,17 @@
 //
 // Usage:
 //
-//	pnsweep [-seed N] [-duration S] [-workers N] [-progress] [-vwidth list] [-vq list] [-alpha list] [-beta list]
+//	pnsweep [-seed N] [-duration S] [-workers N] [-progress] [-scenario name] [-vwidth list] [-vq list] [-alpha list] [-beta list]
+//	pnsweep -list
 //
 // Lists are comma-separated values in volts / volts-per-second. Grid
 // points are independent simulations and are scored concurrently on
 // -workers goroutines (default GOMAXPROCS); the output is identical for
 // any worker count. -progress streams grid completion to stderr.
+//
+// -scenario selects the registered stress scenario each combination is
+// scored on (default "stress-clouds"; -list shows the registry), so the
+// same grid search runs against supercap or hybrid storage variants.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"strings"
 
 	"pnps/internal/experiments"
+	"pnps/internal/scenario"
 )
 
 func parseList(s string) ([]float64, error) {
@@ -45,6 +51,8 @@ func main() {
 		duration = flag.Float64("duration", 240, "per-point scenario duration, seconds")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent grid-point evaluations")
 		progress = flag.Bool("progress", false, "report grid progress on stderr")
+		scn      = flag.String("scenario", "", "registered stress scenario to score on (default stress-clouds)")
+		list     = flag.Bool("list", false, "list registered scenarios and exit")
 		vwidth   = flag.String("vwidth", "", "comma-separated Vwidth grid, volts")
 		vq       = flag.String("vq", "", "comma-separated Vq grid, volts")
 		alpha    = flag.String("alpha", "", "comma-separated alpha grid, V/s")
@@ -52,7 +60,14 @@ func main() {
 	)
 	flag.Parse()
 
-	opts := experiments.SweepOptions{Seed: *seed, Duration: *duration, Workers: *workers}
+	if *list {
+		for _, s := range scenario.List() {
+			fmt.Printf("%-18s %s\n", s.Name, s.Description)
+		}
+		return
+	}
+
+	opts := experiments.SweepOptions{Seed: *seed, Duration: *duration, Workers: *workers, Scenario: *scn}
 	if *progress {
 		opts.OnProgress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\rpnsweep: %d/%d grid points", done, total)

@@ -1,6 +1,8 @@
 // Governors: the paper's Table II experiment as an example — race the
 // power-neutral controller against every default Linux cpufreq governor
-// on the same harvested supply and see who survives the hour.
+// on the same harvested supply and see who survives the hour. All six
+// runs are field overrides of one registered scenario, so the harvest,
+// board and buffer are identical by construction.
 //
 //	go run ./examples/governors
 package main
@@ -10,57 +12,31 @@ import (
 	"log"
 
 	"pnps"
-	"pnps/internal/pv"
-	"pnps/internal/soc"
 )
 
 func main() {
-	const (
-		duration = 3600.0
-		startV   = 5.3
-		seed     = 42
-	)
-	// Moderate sun with light haze — deep shadows would kill even the
-	// minimal OPP, so no scheme could survive.
-	mkProfile := func() pnps.IrradianceProfile {
-		return pv.NewClouds(pv.Constant(640), pv.CloudParams{
-			Span: duration + 60, MeanGap: 300, MeanDuration: 60,
-			MinTransmission: 0.72, MaxTransmission: 0.92, EdgeSeconds: 8,
-		}, seed)
+	base, ok := pnps.LookupScenario("table2-harvest")
+	if !ok {
+		log.Fatal("table2-harvest scenario missing")
 	}
+	base.SkipSeries = true
+	const seed = 42
 
 	fmt.Println("60-minute governor shoot-out on a harvested supply")
 	fmt.Printf("%-16s %-10s %-12s %s\n", "scheme", "lifetime", "instructions", "verdict")
 
 	for _, name := range []string{"performance", "ondemand", "interactive", "conservative", "powersave"} {
-		gov, err := pnps.LinuxGovernor(name)
-		if err != nil {
-			log.Fatal(err)
-		}
-		plat := pnps.NewPlatform()
-		plat.Reset(0, pnps.OPP{FreqIdx: 0, Config: soc.CoreConfig{Little: 4, Big: 4}})
-		res, err := pnps.Simulate(pnps.SimConfig{
-			Array: pnps.NewPVArray(), Profile: mkProfile(),
-			Capacitance: 47e-3, InitialVC: startV,
-			Platform: plat, Governor: gov, Duration: duration,
-		})
+		spec := base
+		spec.Control = pnps.GovernedBy(name)
+		res, err := spec.Run(seed)
 		if err != nil {
 			log.Fatal(err)
 		}
 		print1(name, res)
 	}
 
-	plat := pnps.NewPlatform()
-	plat.Reset(0, pnps.MinOPP())
-	ctrl, err := pnps.NewController(pnps.DefaultControllerParams(), startV, pnps.MinOPP(), 0)
-	if err != nil {
-		log.Fatal(err)
-	}
-	res, err := pnps.Simulate(pnps.SimConfig{
-		Array: pnps.NewPVArray(), Profile: mkProfile(),
-		Capacitance: 47e-3, InitialVC: startV,
-		Platform: plat, Controller: ctrl, Duration: duration,
-	})
+	// The proposed approach is the scenario's default control.
+	res, err := base.Run(seed)
 	if err != nil {
 		log.Fatal(err)
 	}

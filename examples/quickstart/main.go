@@ -1,5 +1,8 @@
 // Quickstart: run the power-neutral system for one simulated minute under
-// full sun and print what the controller did.
+// full sun and print what the controller did. The run is assembled from
+// the declarative scenario registry — "steady-sun" names the paper's
+// array, the 47 mF buffer, the Exynos5422 board and the power-neutral
+// controller with its published parameters.
 //
 //	go run ./examples/quickstart
 package main
@@ -12,40 +15,24 @@ import (
 )
 
 func main() {
-	// The harvesting source: the paper's 1340 cm² monocrystalline array.
-	array := pnps.NewPVArray()
+	scenario, ok := pnps.LookupScenario("steady-sun")
+	if !ok {
+		log.Fatal("steady-sun scenario missing")
+	}
 
-	// The load: a simulated ODROID-XU4 booted at its lowest operating
-	// point (1 LITTLE core @ 200 MHz).
-	platform := pnps.NewPlatform()
-	platform.Reset(0, pnps.MinOPP())
-
-	// The paper's controller with its published parameters, thresholds
-	// calibrated around 5.3 V (the array's maximum power point).
-	const startVolts = 5.3
-	controller, err := pnps.NewController(pnps.DefaultControllerParams(), startVolts, pnps.MinOPP(), 0)
+	// Assemble keeps the platform accessible; Simulate executes the run.
+	cfg, err := scenario.Assemble(0)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// Couple them through the paper's 47 mF capacitor and simulate 60 s
-	// of full sun.
-	result, err := pnps.Simulate(pnps.SimConfig{
-		Array:       array,
-		Profile:     pnps.ConstantIrradiance(1000),
-		Capacitance: 47e-3,
-		InitialVC:   startVolts,
-		Platform:    platform,
-		Controller:  controller,
-		Duration:    60,
-	})
+	result, err := pnps.Simulate(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("Power-neutral quickstart (60 s, full sun)")
 	fmt.Printf("  survived:              %v\n", !result.BrownedOut)
-	fmt.Printf("  final OPP:             %v\n", platform.CommittedOPP())
+	fmt.Printf("  final OPP:             %v\n", cfg.Platform.CommittedOPP())
 	fmt.Printf("  final supply voltage:  %.3f V\n", result.FinalVC)
 	fmt.Printf("  threshold interrupts:  %d\n", result.Interrupts)
 	fmt.Printf("  DVFS steps:            %d\n", result.ControllerStats.FreqSteps)
@@ -53,4 +40,6 @@ func main() {
 		result.ControllerStats.BigToggles+result.ControllerStats.LittleToggles)
 	fmt.Printf("  instructions done:     %.1f billion\n", result.Instructions/1e9)
 	fmt.Printf("  within 10%% of target:  %.1f%% of the time\n", result.StabilityWithin(0.10)*100)
+	fmt.Printf("  energy in buffer:      %.2f J -> %.2f J\n",
+		result.StorageEnergyStartJ, result.StorageEnergyEndJ)
 }

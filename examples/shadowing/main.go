@@ -1,6 +1,7 @@
 // Shadowing: the paper's Fig. 6 scenario — full sun interrupted by a deep
-// cloud shadow. Compares the power-neutral controller against a static
-// configuration, showing that only the controlled system survives.
+// cloud shadow. The registered "fig6-shadow" scenario supplies the
+// controlled run; one field override turns it into the uncontrolled
+// static baseline, showing that only the controlled system survives.
 //
 //	go run ./examples/shadowing
 package main
@@ -15,39 +16,23 @@ import (
 )
 
 func main() {
-	// A 60%-deep, 3-second shadow hits at t=4 s.
-	profile := pnps.ShadowEvent(0.60, 4, 3)
-	const (
-		duration = 10.0
-		capF     = 47e-3
-		startV   = 5.35
-	)
-
-	// Run 1: power-neutral control from the minimal OPP.
-	ctrlPlat := pnps.NewPlatform()
-	ctrlPlat.Reset(0, pnps.MinOPP())
-	ctrl, err := pnps.NewController(pnps.DefaultControllerParams(), startV, pnps.MinOPP(), 0)
-	if err != nil {
-		log.Fatal(err)
+	base, ok := pnps.LookupScenario("fig6-shadow")
+	if !ok {
+		log.Fatal("fig6-shadow scenario missing")
 	}
-	ctrlRes, err := pnps.Simulate(pnps.SimConfig{
-		Array: pnps.NewPVArray(), Profile: profile,
-		Capacitance: capF, InitialVC: startV,
-		Platform: ctrlPlat, Controller: ctrl, Duration: duration,
-	})
+
+	// Run 1: power-neutral control (the registered scenario as-is).
+	ctrlRes, err := base.Run(0)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Run 2: static high configuration (what a non-adaptive system that
-	// sized itself for full sun would run).
-	staticPlat := pnps.NewPlatform()
-	staticPlat.Reset(0, pnps.OPP{FreqIdx: 6, Config: soc.CoreConfig{Little: 4, Big: 3}})
-	staticRes, err := pnps.Simulate(pnps.SimConfig{
-		Array: pnps.NewPVArray(), Profile: profile,
-		Capacitance: capF, InitialVC: startV,
-		Platform: staticPlat, Duration: duration,
-	})
+	// Run 2: the same shadow on a static high configuration (what a
+	// non-adaptive system sized for full sun would run).
+	static := base
+	static.Control = pnps.Uncontrolled()
+	static.Boot = pnps.OPP{FreqIdx: 6, Config: soc.CoreConfig{Little: 4, Big: 3}}
+	staticRes, err := static.Run(0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 // Solarday: a full 24-hour run of the power-neutral system on a partly
 // cloudy day, with brownout restarts enabled — the system dies after
 // sunset and reboots after sunrise, harvesting whenever the sun allows.
+// The whole run is the registered "solar-day" scenario.
 //
 //	go run ./examples/solarday
 package main
@@ -14,35 +15,12 @@ import (
 )
 
 func main() {
-	const (
-		day    = 24 * 3600.0
-		startV = 5.3
-		seed   = 7
-	)
-	profile := pnps.WithPartialClouds(pnps.SolarDayProfile(), day, seed)
-
-	platform := pnps.NewPlatform()
-	platform.Reset(0, pnps.MinOPP())
-	controller, err := pnps.NewController(pnps.DefaultControllerParams(), startV, pnps.MinOPP(), 0)
+	const seed = 7
+	result, err := pnps.RunScenario("solar-day", seed)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	result, err := pnps.Simulate(pnps.SimConfig{
-		Array:           pnps.NewPVArray(),
-		Profile:         profile,
-		Capacitance:     47e-3,
-		InitialVC:       startV,
-		Platform:        platform,
-		Controller:      controller,
-		Duration:        day,
-		BrownoutRestart: true, // reboot when the sun returns
-		RestartCooldown: 300,  // supervisor back-off against dawn boot loops
-		MaxStep:         0.5,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
+	const day = 24 * 3600.0
 
 	fmt.Println("24-hour solar day with brownout restart")
 	fmt.Printf("  alive time:           %.1f h of %.0f h\n", result.LifetimeSeconds/3600, day/3600)

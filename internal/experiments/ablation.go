@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pnps/internal/core"
+	"pnps/internal/pv"
 	"pnps/internal/soc"
 )
 
@@ -17,7 +18,7 @@ func AblationSemantics(seed int64) (*Report, error) {
 		return nil, err
 	}
 	const duration = 240.0
-	profile := sweepScenario(seed, duration)
+	profile := pv.StressClouds(seed, duration)
 
 	tab := Table{
 		Title:  "Hot-plug semantics ablation (shadowing stress, 240 s)",
@@ -68,7 +69,7 @@ func AblationOrder(seed int64) (*Report, error) {
 		return nil, err
 	}
 	const duration = 240.0
-	profile := sweepScenario(seed, duration)
+	profile := pv.StressClouds(seed, duration)
 
 	tab := Table{
 		Title:  "Transition-order ablation (shadowing stress, 240 s)",

@@ -19,7 +19,7 @@ func Fig6() (*Report, error) {
 	// Depth is chosen so the shadowed harvest still covers the minimal
 	// OPP (the paper's Fig. 6 trough is survivable with scaling but not
 	// without).
-	shadow := pv.Shadow{Base: 1000, Depth: 0.60, Start: 4, Duration: 3, Edge: 0.4}
+	shadow := pv.DeepShadow(4)
 	mpp, err := fullSunMPP()
 	if err != nil {
 		return nil, err

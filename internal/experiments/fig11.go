@@ -1,9 +1,7 @@
 package experiments
 
 import (
-	"pnps/internal/core"
-	"pnps/internal/sim"
-	"pnps/internal/soc"
+	"pnps/internal/scenario"
 	"pnps/internal/trace"
 )
 
@@ -15,46 +13,10 @@ import (
 // big and LITTLE cores — so core scaling is applied less often than
 // frequency scaling.
 func Fig11(seed int64) (*Report, error) {
-	_ = seed // the supply sequence is deterministic; kept for API symmetry
-
-	// Piecewise-linear setpoint sequence mimicking the paper's manual
-	// supply drive over ~140 s: gentle ramps (A-type events) and one
-	// sudden reduction (B).
-	src, err := sim.NewVoltageSource(0.3,
-		sim.VPoint{T: 0, V: 5.0},
-		sim.VPoint{T: 10, V: 5.0},
-		sim.VPoint{T: 20, V: 5.35}, // slow rise
-		sim.VPoint{T: 30, V: 5.15}, // minor fluctuation (A)
-		sim.VPoint{T: 38, V: 5.3},  // minor fluctuation (A)
-		sim.VPoint{T: 48, V: 5.3},
-		sim.VPoint{T: 60, V: 5.55}, // slow rise
-		sim.VPoint{T: 70, V: 5.55},
-		sim.VPoint{T: 71.5, V: 4.55}, // sudden reduction (B)
-		sim.VPoint{T: 90, V: 4.55},
-		sim.VPoint{T: 105, V: 5.1}, // recovery ramp
-		sim.VPoint{T: 120, V: 5.5},
-		sim.VPoint{T: 140, V: 5.45},
-	)
-	if err != nil {
-		return nil, err
-	}
-
-	boot := soc.OPP{FreqIdx: 3, Config: soc.CoreConfig{Little: 4, Big: 1}}
-	plat := soc.NewDefaultPlatform()
-	plat.Reset(0, boot)
-	ctrl, err := core.New(core.Fig11Params(), 5.0, boot, 0)
-	if err != nil {
-		return nil, err
-	}
-	res, err := sim.Run(sim.Config{
-		Source:      src,
-		Capacitance: 47e-3,
-		InitialVC:   5.0,
-		Platform:    plat,
-		Controller:  ctrl,
-		Duration:    140,
-		TargetVolts: 5.3,
-	})
+	// The bench-supply sequence (piecewise-linear setpoints with A-type
+	// ramps and the sudden B reduction) lives in the scenario registry;
+	// it is deterministic, so the seed only keeps API symmetry.
+	res, err := scenario.MustLookup("fig11-bench").Run(seed)
 	if err != nil {
 		return nil, err
 	}

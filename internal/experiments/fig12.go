@@ -3,10 +3,8 @@ package experiments
 import (
 	"sync"
 
-	"pnps/internal/core"
-	"pnps/internal/pv"
+	"pnps/internal/scenario"
 	"pnps/internal/sim"
-	"pnps/internal/soc"
 	"pnps/internal/trace"
 )
 
@@ -43,38 +41,17 @@ func fig12Run(seed int64) (*sim.Result, float64, error) {
 }
 
 func fig12RunUncached(seed int64) (*sim.Result, float64, error) {
-	day := pv.StandardDay()
-	// Full sun with faint haze passages: enough micro-variability to keep
-	// the tracker exercised, as on the paper's test day.
-	clouds := pv.NewClouds(day, pv.CloudParams{
-		Span: 24 * 3600, MeanGap: 700, MeanDuration: 120,
-		MinTransmission: 0.7, MaxTransmission: 0.92, EdgeSeconds: 10,
-	}, seed)
-	profile := pv.Offset{Base: clouds, T0: 10.5 * 3600} // start at 10:30
-
 	mpp, err := fullSunMPP()
 	if err != nil {
 		return nil, 0, err
 	}
 	target := mpp.V // the paper's calibrated MPP target (5.3 V)
 
-	plat := soc.NewDefaultPlatform()
-	plat.Reset(0, soc.MinOPP())
-	ctrl, err := core.New(core.DefaultParams(), target, soc.MinOPP(), 0)
-	if err != nil {
-		return nil, 0, err
-	}
-	res, err := sim.Run(sim.Config{
-		Array:       pv.SouthamptonArray(),
-		Profile:     profile,
-		Capacitance: 47e-3,
-		InitialVC:   target,
-		Platform:    plat,
-		Controller:  ctrl,
-		Duration:    fig12Duration,
-		TargetVolts: target,
-		MaxStep:     0.5,
-	})
+	// The scenario registry holds the run definition (full sun with faint
+	// haze passages from 10:30); the experiment only pins the target.
+	spec := scenario.MustLookup("fig12-fullsun")
+	spec.TargetVolts = target
+	res, err := spec.Run(seed)
 	if err != nil {
 		return nil, 0, err
 	}

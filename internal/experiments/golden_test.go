@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"testing"
+
+	"pnps/internal/core"
+	"pnps/internal/pv"
+	"pnps/internal/sim"
+	"pnps/internal/soc"
+)
+
+// TestFig6GoldenThroughScenarioLayer pins the refactor invariant at the
+// experiments level: the Fig. 6 runs assembled through the scenario
+// layer are bit-identical to the pre-refactor hand-wired sim.Config
+// assembly.
+func TestFig6GoldenThroughScenarioLayer(t *testing.T) {
+	t.Parallel()
+	const (
+		duration    = 10.0
+		capacitance = 47e-3
+	)
+	shadow := pv.Shadow{Base: 1000, Depth: 0.60, Start: 4, Duration: 3, Edge: 0.4}
+	mpp, err := fullSunMPP()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-refactor assembly, verbatim.
+	plat := soc.NewDefaultPlatform()
+	plat.Reset(0, soc.MinOPP())
+	ctrl, err := core.New(core.Fig6Params(), mpp.V, soc.MinOPP(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := sim.Run(sim.Config{
+		Array:       pv.SouthamptonArray(),
+		Profile:     shadow,
+		Capacitance: capacitance,
+		InitialVC:   mpp.V,
+		Platform:    plat,
+		Controller:  ctrl,
+		Duration:    duration,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The experiment helper, now routed through scenario.Spec.
+	got, err := controllerRun(core.Fig6Params(), pv.DeepShadow(4), duration, capacitance, mpp.V, soc.MinOPP())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if golden.Interrupts != got.Interrupts || golden.Instructions != got.Instructions ||
+		golden.FinalVC != got.FinalVC || golden.Brownouts != got.Brownouts {
+		t.Fatalf("fig6 controller run diverged from golden: %+v vs %+v",
+			[4]float64{float64(golden.Interrupts), golden.Instructions, golden.FinalVC, float64(golden.Brownouts)},
+			[4]float64{float64(got.Interrupts), got.Instructions, got.FinalVC, float64(got.Brownouts)})
+	}
+	gt, gv := golden.VC.Times(), golden.VC.Values()
+	nt, nv := got.VC.Times(), got.VC.Values()
+	if len(gt) != len(nt) {
+		t.Fatalf("VC trace lengths differ: %d vs %d", len(gt), len(nt))
+	}
+	for i := range gt {
+		if gt[i] != nt[i] || gv[i] != nv[i] {
+			t.Fatalf("VC traces diverge at sample %d", i)
+		}
+	}
+
+	// The static baseline too.
+	staticOPP := soc.OPP{FreqIdx: 6, Config: soc.CoreConfig{Little: 4, Big: 3}}
+	splat := soc.NewDefaultPlatform()
+	splat.Reset(0, staticOPP)
+	goldenStatic, err := sim.Run(sim.Config{
+		Array:       pv.SouthamptonArray(),
+		Profile:     shadow,
+		Capacitance: capacitance,
+		InitialVC:   mpp.V,
+		Platform:    splat,
+		Duration:    duration,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotStatic, err := staticRun(staticOPP, pv.DeepShadow(4), duration, capacitance, mpp.V)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if goldenStatic.FirstBrownout != gotStatic.FirstBrownout ||
+		goldenStatic.FinalVC != gotStatic.FinalVC ||
+		goldenStatic.Instructions != gotStatic.Instructions {
+		t.Fatal("fig6 static run diverged from golden")
+	}
+}

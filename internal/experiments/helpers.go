@@ -5,6 +5,7 @@ import (
 
 	"pnps/internal/core"
 	"pnps/internal/pv"
+	"pnps/internal/scenario"
 	"pnps/internal/sim"
 	"pnps/internal/soc"
 )
@@ -18,39 +19,30 @@ func fullSunMPP() (pv.MPP, error) {
 	return pv.SouthamptonArray().MaximumPowerPoint(pv.StandardIrradiance)
 }
 
-// controllerRun assembles and executes a power-neutral run with the given
-// parameters.
+// controllerRun executes a power-neutral run with the given parameters,
+// assembled through the scenario layer.
 func controllerRun(params core.Params, profile pv.Profile, duration, capacitance, initialVC float64, boot soc.OPP) (*sim.Result, error) {
-	plat := soc.NewDefaultPlatform()
-	plat.Reset(0, boot)
-	ctrl, err := core.New(params, initialVC, boot, 0)
-	if err != nil {
-		return nil, err
-	}
-	return sim.Run(sim.Config{
-		Array:       pv.SouthamptonArray(),
-		Profile:     profile,
-		Capacitance: capacitance,
-		InitialVC:   initialVC,
-		Platform:    plat,
-		Controller:  ctrl,
-		Duration:    duration,
-	})
+	return scenario.Spec{
+		Profile:   scenario.FixedProfile(profile),
+		Storage:   sim.IdealCap{Farads: capacitance},
+		Boot:      boot,
+		Control:   scenario.Controlled(params),
+		Duration:  duration,
+		InitialVC: initialVC,
+	}.Run(0)
 }
 
 // staticRun executes an uncontrolled run at a fixed OPP (the paper's
 // "without control" baselines).
 func staticRun(opp soc.OPP, profile pv.Profile, duration, capacitance, initialVC float64) (*sim.Result, error) {
-	plat := soc.NewDefaultPlatform()
-	plat.Reset(0, opp)
-	return sim.Run(sim.Config{
-		Array:       pv.SouthamptonArray(),
-		Profile:     profile,
-		Capacitance: capacitance,
-		InitialVC:   initialVC,
-		Platform:    plat,
-		Duration:    duration,
-	})
+	return scenario.Spec{
+		Profile:   scenario.FixedProfile(profile),
+		Storage:   sim.IdealCap{Farads: capacitance},
+		Boot:      opp,
+		Control:   scenario.Uncontrolled(),
+		Duration:  duration,
+		InitialVC: initialVC,
+	}.Run(0)
 }
 
 // fmtSeconds renders seconds as the paper's mm:ss lifetime format.

@@ -7,8 +7,7 @@ import (
 
 	"pnps/internal/batch"
 	"pnps/internal/core"
-	"pnps/internal/pv"
-	"pnps/internal/soc"
+	"pnps/internal/scenario"
 )
 
 // SweepPoint is one evaluated parameter combination.
@@ -25,6 +24,10 @@ type SweepOptions struct {
 	// Grids for each parameter; zero-length grids get paper-bracketing
 	// defaults.
 	VWidths, VQs, Alphas, Betas []float64
+	// Scenario names the registered stress scenario each combination is
+	// scored on (default "stress-clouds"). Any registered PV scenario
+	// works — including the supercap and hybrid storage variants.
+	Scenario string
 	// Duration of each evaluation scenario, seconds (default 240).
 	Duration float64
 	// Seed drives the shared evaluation scenario.
@@ -50,22 +53,15 @@ func (o *SweepOptions) withDefaults() {
 	if len(o.Betas) == 0 {
 		o.Betas = []float64{0.24, 0.479, 0.80}
 	}
+	if o.Scenario == "" {
+		o.Scenario = "stress-clouds"
+	}
 	if o.Duration == 0 {
 		o.Duration = 240
 	}
 	if o.Seed == 0 {
 		o.Seed = DefaultSeed
 	}
-}
-
-// sweepScenario is the stress profile each combination is scored on:
-// full sun with repeated deep shadowing events (micro variability) — the
-// regime the controller parameters must survive.
-func sweepScenario(seed int64, duration float64) pv.Profile {
-	return pv.NewClouds(pv.Constant(1000), pv.CloudParams{
-		Span: duration, MeanGap: 30, MeanDuration: 12,
-		MinTransmission: 0.25, MaxTransmission: 0.6, EdgeSeconds: 2,
-	}, seed)
 }
 
 // enumerateGrid expands the (Vwidth, Vq, α, β) grid into the parameter
@@ -106,16 +102,18 @@ func RunSweep(opts SweepOptions) ([]SweepPoint, error) {
 // there is no point burning the remaining grid's compute.
 func RunSweepContext(ctx context.Context, opts SweepOptions) ([]SweepPoint, error) {
 	opts.withDefaults()
-	mpp, err := fullSunMPP()
-	if err != nil {
-		return nil, err
+	base, ok := scenario.Lookup(opts.Scenario)
+	if !ok {
+		return nil, fmt.Errorf("sweep: unknown scenario %q (known: %v)", opts.Scenario, scenario.Names())
 	}
+	base.Duration = opts.Duration
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	grid := enumerateGrid(opts)
 	pts, err := batch.Map(ctx, grid, func(_ context.Context, p core.Params) (SweepPoint, error) {
-		res, err := controllerRun(p, sweepScenario(opts.Seed, opts.Duration),
-			opts.Duration, 47e-3, mpp.V, soc.MinOPP())
+		sp := base
+		sp.Control = scenario.Controlled(p)
+		res, err := sp.Run(opts.Seed)
 		if err != nil {
 			cancel()
 			return SweepPoint{}, fmt.Errorf("sweep %+v: %w", p, err)

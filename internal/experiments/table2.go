@@ -4,25 +4,10 @@ import (
 	"fmt"
 	"math"
 
-	"pnps/internal/core"
 	"pnps/internal/governor"
-	"pnps/internal/pv"
+	"pnps/internal/scenario"
 	"pnps/internal/sim"
-	"pnps/internal/soc"
 )
-
-// table2Profile is the harvest used for the governor shoot-out: moderate
-// sun with cloud micro-variability, sized so the available power sits in
-// the paper's Fig. 14 band (≈2.5–3.5 W).
-func table2Profile(seed int64) pv.Profile {
-	// Sized so the deepest cloud still leaves the powersave floor
-	// (≈2.3 W) covered — in the paper's test powersave survives the hour.
-	base := pv.Constant(620)
-	return pv.NewClouds(base, pv.CloudParams{
-		Span: 3700, MeanGap: 300, MeanDuration: 60,
-		MinTransmission: 0.72, MaxTransmission: 0.92, EdgeSeconds: 8,
-	}, seed)
-}
 
 // table2Row is one scheme's outcome.
 type table2Row struct {
@@ -40,29 +25,18 @@ type table2Row struct {
 // minimum throughput, and the proposed approach ran the full hour while
 // completing 69% more instructions than powersave.
 func Table2(seed int64) (*Report, error) {
-	const duration = 3600.0
-	mpp, err := fullSunMPP()
-	if err != nil {
-		return nil, err
-	}
-	initialVC := mpp.V
+	// Every scheme races on the same registered harvest scenario; only
+	// the control scheme differs between rows.
+	base := scenario.MustLookup("table2-harvest")
+	base.SkipSeries = true
+	duration := base.Duration
 
 	var rows []table2Row
 
 	for _, gov := range governor.All() {
-		profile := table2Profile(seed)
-		plat := soc.NewDefaultPlatform()
-		plat.Reset(0, soc.OPP{FreqIdx: 0, Config: soc.CoreConfig{Little: 4, Big: 4}})
-		res, err := sim.Run(sim.Config{
-			Array:       pv.SouthamptonArray(),
-			Profile:     profile,
-			Capacitance: 47e-3,
-			InitialVC:   initialVC,
-			Platform:    plat,
-			Governor:    gov,
-			Duration:    duration,
-			SkipSeries:  true,
-		})
+		sp := base
+		sp.Control = scenario.Governed(gov.Name())
+		res, err := sp.Run(seed)
 		if err != nil {
 			return nil, fmt.Errorf("table2 %s: %w", gov.Name(), err)
 		}
@@ -75,23 +49,7 @@ func Table2(seed int64) (*Report, error) {
 	}
 
 	// Proposed power-neutral approach.
-	profile := table2Profile(seed)
-	plat := soc.NewDefaultPlatform()
-	plat.Reset(0, soc.MinOPP())
-	ctrl, err := core.New(core.DefaultParams(), initialVC, soc.MinOPP(), 0)
-	if err != nil {
-		return nil, err
-	}
-	res, err := sim.Run(sim.Config{
-		Array:       pv.SouthamptonArray(),
-		Profile:     profile,
-		Capacitance: 47e-3,
-		InitialVC:   initialVC,
-		Platform:    plat,
-		Controller:  ctrl,
-		Duration:    duration,
-		SkipSeries:  true,
-	})
+	res, err := base.Run(seed)
 	if err != nil {
 		return nil, fmt.Errorf("table2 proposed: %w", err)
 	}

@@ -1,0 +1,22 @@
+package pv
+
+// Shared stress scenarios. These used to be copied between the Section
+// III sweep, the extension experiments and the sim property tests; they
+// live here so every consumer scores against the same irradiance.
+
+// StressClouds is the shadowing stress profile the controller parameters
+// must survive: full sun with repeated deep occlusions (micro
+// variability) over the given span.
+func StressClouds(seed int64, span float64) *Clouds {
+	return NewClouds(Constant(1000), CloudParams{
+		Span: span, MeanGap: 30, MeanDuration: 12,
+		MinTransmission: 0.25, MaxTransmission: 0.6, EdgeSeconds: 2,
+	}, seed)
+}
+
+// DeepShadow is the paper's Fig. 6 stress event: full sun interrupted by
+// a deep 3 s shadow with smooth 0.4 s edges, starting at start seconds.
+// The depth is survivable with power-neutral scaling but not without.
+func DeepShadow(start float64) Shadow {
+	return Shadow{Base: 1000, Depth: 0.60, Start: start, Duration: 3, Edge: 0.4}
+}

@@ -1,0 +1,131 @@
+package scenario
+
+import (
+	"pnps/internal/buffer"
+	"pnps/internal/core"
+	"pnps/internal/pv"
+	"pnps/internal/sim"
+	"pnps/internal/soc"
+)
+
+// Built-in scenarios: the paper's evaluation runs plus the storage
+// extensions, registered under stable names so experiments, CLIs and
+// campaigns assemble the exact same runs.
+func init() {
+	MustRegister(Spec{
+		Name:        "steady-sun",
+		Description: "one minute of full sun under power-neutral control (quickstart)",
+		Profile:     FixedProfile(pv.Constant(1000)),
+		Duration:    60,
+	})
+	MustRegister(Spec{
+		Name:        "fig6-shadow",
+		Description: "paper Fig. 6: deep 3 s shadow survived by scaling (10 s)",
+		Profile:     FixedProfile(pv.DeepShadow(4)),
+		Control:     Controlled(core.Fig6Params()),
+		Duration:    10,
+	})
+	MustRegister(Spec{
+		Name:        "stress-clouds",
+		Description: "full sun with repeated deep occlusions — the Section III stress scenario (240 s)",
+		Profile:     pvStress,
+		Duration:    240,
+	})
+	MustRegister(Spec{
+		Name:        "stress-supercap",
+		Description: "the stress scenario on a real supercap bank (ESR + leakage) instead of the ideal capacitor",
+		Profile:     pvStress,
+		Storage: sim.NewSupercap(buffer.Supercap{
+			Farads: 47e-3, ESROhms: 0.05, LeakOhms: 5000, VMax: soc.MaxOperatingVolts,
+		}),
+		Duration: 240,
+	})
+	MustRegister(Spec{
+		Name:        "stress-hybrid",
+		Description: "the stress scenario on a hybrid buffer: 10 mF node capacitor backed by a 1 F reservoir behind a Schottky diode",
+		Profile:     pvStress,
+		Storage: sim.HybridCap{
+			NodeFarads: 10e-3, ReservoirFarads: 1,
+			DiodeDropVolts: 0.35, DiodeOhms: 0.2,
+			ChargeOhms: 10, LeakOhms: 20000,
+		},
+		Duration: 240,
+	})
+	MustRegister(Spec{
+		Name:        "fig12-fullsun",
+		Description: "paper Fig. 12: six-hour full-sun run from 10:30 with light haze (also feeds Figs. 13–15)",
+		Profile: func(seed int64, _ float64) pv.Profile {
+			clouds := pv.NewClouds(pv.StandardDay(), pv.CloudParams{
+				Span: 24 * 3600, MeanGap: 700, MeanDuration: 120,
+				MinTransmission: 0.7, MaxTransmission: 0.92, EdgeSeconds: 10,
+			}, seed)
+			return pv.Offset{Base: clouds, T0: 10.5 * 3600}
+		},
+		Duration: 6 * 3600,
+		MaxStep:  0.5,
+	})
+	MustRegister(Spec{
+		Name:        "table2-harvest",
+		Description: "paper Table II: sixty minutes of moderate sun with cloud micro-variability",
+		Profile: func(seed int64, span float64) pv.Profile {
+			// Cloud field overruns the span slightly so a shadow striding
+			// the end of the run is still fully formed.
+			return pv.NewClouds(pv.Constant(620), pv.CloudParams{
+				Span: span + 100, MeanGap: 300, MeanDuration: 60,
+				MinTransmission: 0.72, MaxTransmission: 0.92, EdgeSeconds: 8,
+			}, seed)
+		},
+		Duration: 3600,
+	})
+	MustRegister(Spec{
+		Name:        "fig11-bench",
+		Description: "paper Fig. 11: controlled variable bench supply with A/B disturbance events (140 s)",
+		Source: func(int64, float64) (sim.Source, error) {
+			return sim.NewVoltageSource(0.3,
+				sim.VPoint{T: 0, V: 5.0},
+				sim.VPoint{T: 10, V: 5.0},
+				sim.VPoint{T: 20, V: 5.35}, // slow rise
+				sim.VPoint{T: 30, V: 5.15}, // minor fluctuation (A)
+				sim.VPoint{T: 38, V: 5.3},  // minor fluctuation (A)
+				sim.VPoint{T: 48, V: 5.3},
+				sim.VPoint{T: 60, V: 5.55}, // slow rise
+				sim.VPoint{T: 70, V: 5.55},
+				sim.VPoint{T: 71.5, V: 4.55}, // sudden reduction (B)
+				sim.VPoint{T: 90, V: 4.55},
+				sim.VPoint{T: 105, V: 5.1}, // recovery ramp
+				sim.VPoint{T: 120, V: 5.5},
+				sim.VPoint{T: 140, V: 5.45},
+			)
+		},
+		Control:     Controlled(core.Fig11Params()),
+		Boot:        soc.OPP{FreqIdx: 3, Config: soc.CoreConfig{Little: 4, Big: 1}},
+		InitialVC:   5.0,
+		TargetVolts: 5.3,
+		Duration:    140,
+	})
+	MustRegister(Spec{
+		Name:        "solar-day",
+		Description: "24 h partly cloudy day with brownout restarts: die after sunset, reboot after sunrise",
+		Profile: func(seed int64, span float64) pv.Profile {
+			return pv.NewClouds(pv.StandardDay(), pv.PartialSun(span), seed)
+		},
+		Duration: 24 * 3600,
+		MaxStep:  0.5,
+		Restart:  &RestartPolicy{Cooldown: 300},
+	})
+	MustRegister(Spec{
+		Name:        "overcast-day",
+		Description: "24 h overcast day with brownout restarts — the harvest-starved counterpart of solar-day",
+		Profile: func(seed int64, span float64) pv.Profile {
+			return pv.NewClouds(pv.StandardDay(), pv.Overcast(span), seed)
+		},
+		Duration: 24 * 3600,
+		MaxStep:  0.5,
+		Restart:  &RestartPolicy{Cooldown: 300},
+	})
+}
+
+// pvStress is the shared Section III stress profile (see pv.StressClouds).
+func pvStress(seed int64, span float64) pv.Profile {
+	return pv.StressClouds(seed, span)
+}

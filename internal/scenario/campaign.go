@@ -1,0 +1,174 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"pnps/internal/batch"
+	"pnps/internal/sim"
+	"pnps/internal/stats"
+)
+
+// Variant perturbs the spec for one campaign run. It receives the run
+// index k and the run's derived seed (already decorrelated from the base
+// seed via batch.Seed) and mutates the copied spec in place — swap the
+// storage model, scale a parameter, change the weather. The seed passed
+// on to Assemble is the same derived seed, so weather realisations vary
+// per run even with a nil Variant.
+type Variant func(k int, seed int64, s *Spec)
+
+// Campaign fans Monte-Carlo variations of a base scenario across the
+// deterministic batch engine: run k executes Base (perturbed by Vary)
+// with seed batch.Seed(Seed, k). Results are collected in run order and
+// aggregated sequentially, so a campaign's Outcome is bit-identical for
+// any Workers value.
+type Campaign struct {
+	// Base is the scenario every run starts from.
+	Base Spec
+	// Runs is the number of Monte-Carlo repetitions (must be positive).
+	Runs int
+	// Seed is the campaign base seed; per-run seeds derive from it.
+	Seed int64
+	// Vary, when non-nil, perturbs the spec for each run; a nil Vary
+	// varies only the seed (independent weather realisations).
+	Vary Variant
+	// Workers bounds concurrency; <= 0 selects GOMAXPROCS.
+	Workers int
+	// OnProgress, when non-nil, is called after each completed run with
+	// (completed, total).
+	OnProgress func(completed, total int)
+	// KeepSeries retains per-run time series. Off by default: a
+	// campaign of long scenarios would otherwise hold every trace of
+	// every run in memory at once.
+	KeepSeries bool
+}
+
+// RunResult pairs one campaign run with its identity.
+type RunResult struct {
+	// Index is the run's position in the campaign (0-based).
+	Index int
+	// Seed is the derived per-run seed.
+	Seed int64
+	// Spec is the (possibly perturbed) scenario the run executed.
+	Spec Spec
+	// Result is the simulation outcome.
+	Result *sim.Result
+}
+
+// Summary aggregates a campaign deterministically (in run order).
+type Summary struct {
+	// Runs is the number of completed runs.
+	Runs int
+	// SurvivalRate is the fraction of runs without a brownout.
+	SurvivalRate float64
+	// TotalBrownouts counts brownouts across all runs.
+	TotalBrownouts int
+	// Stability summarises the per-run fraction of time within ±5% of
+	// the target voltage. It needs the VC trace, so it is all zeros
+	// unless the campaign sets KeepSeries.
+	Stability stats.Summary
+	// Instructions summarises per-run completed instructions.
+	Instructions stats.Summary
+	// LifetimeSeconds summarises per-run alive time.
+	LifetimeSeconds stats.Summary
+	// FinalVC summarises the per-run final supply voltage.
+	FinalVC stats.Summary
+	// StorageEnergyDeltaJ summarises per-run stored-energy change
+	// (end − start), joules.
+	StorageEnergyDeltaJ stats.Summary
+}
+
+// Outcome is a completed campaign.
+type Outcome struct {
+	// Results holds every run in campaign order.
+	Results []RunResult
+	// Summary is the deterministic aggregate.
+	Summary Summary
+}
+
+// Run executes the campaign. Runs are independent simulations fanned
+// over batch.Map; a failing run fails the campaign (index-ordered error
+// aggregation), and cancelling ctx abandons unstarted runs.
+func (c Campaign) Run(ctx context.Context) (*Outcome, error) {
+	if c.Runs <= 0 {
+		return nil, fmt.Errorf("scenario: campaign needs a positive run count, got %d", c.Runs)
+	}
+	// Derive every run's spec and seed up front, deterministically.
+	runs := make([]RunResult, c.Runs)
+	for k := range runs {
+		seed := batch.Seed(c.Seed, k)
+		sp := c.Base
+		if !c.KeepSeries {
+			sp.SkipSeries = true
+		}
+		if c.Vary != nil {
+			c.Vary(k, seed, &sp)
+		}
+		runs[k] = RunResult{Index: k, Seed: seed, Spec: sp}
+	}
+	results, err := batch.Map(ctx, runs, func(_ context.Context, r RunResult) (*sim.Result, error) {
+		res, err := r.Spec.Run(r.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("campaign run %d (seed %d): %w", r.Index, r.Seed, err)
+		}
+		return res, nil
+	}, batch.Options{Workers: c.Workers, OnProgress: c.OnProgress})
+	if err != nil {
+		return nil, err
+	}
+	for k := range runs {
+		runs[k].Result = results[k]
+	}
+	out := &Outcome{Results: runs}
+	if err := out.summarise(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// summarise computes the aggregate in run order.
+func (o *Outcome) summarise() error {
+	n := len(o.Results)
+	if n == 0 {
+		return errors.New("scenario: empty campaign")
+	}
+	s := Summary{Runs: n}
+	stability := make([]float64, 0, n)
+	instr := make([]float64, 0, n)
+	life := make([]float64, 0, n)
+	finalVC := make([]float64, 0, n)
+	deltaJ := make([]float64, 0, n)
+	survived := 0
+	for _, r := range o.Results {
+		res := r.Result
+		if !res.BrownedOut {
+			survived++
+		}
+		s.TotalBrownouts += res.Brownouts
+		stability = append(stability, res.StabilityWithin(0.05))
+		instr = append(instr, res.Instructions)
+		life = append(life, res.LifetimeSeconds)
+		finalVC = append(finalVC, res.FinalVC)
+		deltaJ = append(deltaJ, res.StorageEnergyEndJ-res.StorageEnergyStartJ)
+	}
+	s.SurvivalRate = float64(survived) / float64(n)
+	var err error
+	if s.Stability, err = stats.Summarize(stability); err != nil {
+		return err
+	}
+	if s.Instructions, err = stats.Summarize(instr); err != nil {
+		return err
+	}
+	if s.LifetimeSeconds, err = stats.Summarize(life); err != nil {
+		return err
+	}
+	if s.FinalVC, err = stats.Summarize(finalVC); err != nil {
+		return err
+	}
+	if s.StorageEnergyDeltaJ, err = stats.Summarize(deltaJ); err != nil {
+		return err
+	}
+	o.Summary = s
+	return nil
+}

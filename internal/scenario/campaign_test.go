@@ -1,0 +1,124 @@
+package scenario
+
+import (
+	"context"
+	"testing"
+
+	"pnps/internal/batch"
+	"pnps/internal/buffer"
+	"pnps/internal/pv"
+	"pnps/internal/sim"
+	"pnps/internal/soc"
+)
+
+// supercapVsIdeal alternates runs between the ideal 47 mF capacitor and
+// a real supercap bank with ESR and leakage — the paper's storage
+// comparison as a Monte-Carlo campaign.
+func supercapVsIdeal(k int, _ int64, s *Spec) {
+	if k%2 == 0 {
+		s.Storage = sim.IdealCap{Farads: 47e-3}
+		return
+	}
+	s.Storage = sim.NewSupercap(buffer.Supercap{
+		Farads: 47e-3, ESROhms: 0.05, LeakOhms: 5000, VMax: soc.MaxOperatingVolts,
+	})
+}
+
+// TestCampaignDeterministicAcrossWorkers: the supercap-vs-ideal campaign
+// must produce bit-identical outcomes at 1, 2 and 8 workers (CI runs
+// this under -race).
+func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
+	base := MustLookup("stress-clouds")
+	base.Duration = 20
+	mk := func(workers int) *Outcome {
+		out, err := Campaign{
+			Base: base, Runs: 6, Seed: 99, Vary: supercapVsIdeal, Workers: workers,
+		}.Run(context.Background())
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return out
+	}
+	ref := mk(1)
+	for _, workers := range []int{2, 8} {
+		got := mk(workers)
+		if got.Summary != ref.Summary {
+			t.Fatalf("workers=%d summary diverged:\n%+v\nvs\n%+v", workers, got.Summary, ref.Summary)
+		}
+		for i := range ref.Results {
+			a, b := ref.Results[i].Result, got.Results[i].Result
+			if a.Instructions != b.Instructions || a.FinalVC != b.FinalVC ||
+				a.Interrupts != b.Interrupts || a.Brownouts != b.Brownouts ||
+				a.StorageEnergyEndJ != b.StorageEnergyEndJ {
+				t.Fatalf("workers=%d run %d diverged", workers, i)
+			}
+		}
+	}
+}
+
+// TestCampaignSeedsDecorrelated: with no Variant, runs still differ —
+// each gets an independent weather realisation from its derived seed.
+func TestCampaignSeedsDecorrelated(t *testing.T) {
+	base := MustLookup("stress-clouds")
+	base.Duration = 20
+	out, err := Campaign{Base: base, Runs: 4, Seed: 7}.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Summary.Runs != 4 {
+		t.Fatalf("summary counted %d runs, want 4", out.Summary.Runs)
+	}
+	seen := map[float64]bool{}
+	for k, r := range out.Results {
+		if want := batch.Seed(7, k); r.Seed != want {
+			t.Errorf("run %d seed %d, want %d", k, r.Seed, want)
+		}
+		seen[r.Result.Instructions] = true
+	}
+	if len(seen) < 2 {
+		t.Error("all runs produced identical work — seeds not decorrelated")
+	}
+	if out.Summary.Instructions.Min > out.Summary.Instructions.Mean ||
+		out.Summary.Instructions.Mean > out.Summary.Instructions.Max {
+		t.Error("summary ordering broken")
+	}
+}
+
+// TestCampaignSupercapPaysForParasitics: on an open-loop (static, no
+// controller phase effects) run of the same weather, a leaky bank's
+// supply trajectory is bounded above by the lossless capacitor's, so it
+// never ends a run with more stored energy. Under closed-loop control
+// this need not hold per run — the controller adapts to the lossy
+// trajectory — which is exactly why the storage belongs in the live ODE.
+func TestCampaignSupercapPaysForParasitics(t *testing.T) {
+	base := MustLookup("stress-clouds")
+	base.Duration = 20
+	base.Control = Uncontrolled() // static MinOPP: event-free
+	base.Profile = func(seed int64, span float64) pv.Profile {
+		// Shallow clouds: deep occlusions would brown out even MinOPP.
+		return pv.NewClouds(pv.Constant(800), pv.PartialSun(span), seed)
+	}
+	run := func(st sim.Storage) *Outcome {
+		b := base
+		b.Storage = st
+		out, err := Campaign{Base: b, Runs: 3, Seed: 42}.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	ideal := run(sim.IdealCap{Farads: 47e-3})
+	lossy := run(sim.NewSupercap(buffer.Supercap{
+		Farads: 47e-3, ESROhms: 0.05, LeakOhms: 100, VMax: soc.MaxOperatingVolts,
+	}))
+	for i := range ideal.Results {
+		a, b := ideal.Results[i].Result, lossy.Results[i].Result
+		if a.BrownedOut || b.BrownedOut {
+			t.Fatalf("run %d browned out — comparison requires an event-free scenario", i)
+		}
+		if b.StorageEnergyEndJ > a.StorageEnergyEndJ {
+			t.Errorf("run %d: lossy bank ended with %.3f J > ideal %.3f J",
+				i, b.StorageEnergyEndJ, a.StorageEnergyEndJ)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The registry maps stable scenario names to their declarative specs.
+// Built-in scenarios self-register from builtin.go; callers may add
+// their own with Register. Lookups return copies — a Spec is a value,
+// so mutating a lookup result never affects the registry.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Spec{}
+)
+
+// Register adds a named scenario. The name must be non-empty and unused.
+func Register(s Spec) error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: Register needs a name")
+	}
+	if err := s.validate(); err != nil {
+		return err
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[s.Name]; dup {
+		return fmt.Errorf("scenario: %q already registered", s.Name)
+	}
+	registry[s.Name] = s
+	return nil
+}
+
+// MustRegister is Register that panics on error (for init-time use).
+func MustRegister(s Spec) {
+	if err := Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the named scenario.
+func Lookup(name string) (Spec, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// MustLookup returns the named scenario, panicking when it is missing —
+// for built-in names whose registration is unconditional.
+func MustLookup(name string) Spec {
+	s, ok := Lookup(name)
+	if !ok {
+		panic(fmt.Sprintf("scenario: %q not registered", name))
+	}
+	return s
+}
+
+// Names returns the registered scenario names in sorted order.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// List returns the registered specs sorted by name.
+func List() []Spec {
+	names := Names()
+	out := make([]Spec, 0, len(names))
+	regMu.RLock()
+	defer regMu.RUnlock()
+	for _, n := range names {
+		out = append(out, registry[n])
+	}
+	return out
+}

@@ -1,0 +1,238 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"pnps/internal/buffer"
+	"pnps/internal/core"
+	"pnps/internal/pv"
+	"pnps/internal/sim"
+	"pnps/internal/soc"
+)
+
+// TestAssembleMatchesManualAssembly is the golden-equality test for the
+// scenario layer: a Spec-assembled run must be bit-identical to the
+// hand-assembled sim.Config the experiments used before the refactor.
+func TestAssembleMatchesManualAssembly(t *testing.T) {
+	const (
+		seed     = int64(20170327)
+		duration = 30.0
+	)
+
+	// Pre-refactor style: everything wired by hand.
+	mpp, err := pv.SouthamptonArray().MaximumPowerPoint(pv.StandardIrradiance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := soc.NewDefaultPlatform()
+	plat.Reset(0, soc.MinOPP())
+	ctrl, err := core.New(core.DefaultParams(), mpp.V, soc.MinOPP(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual, err := sim.Run(sim.Config{
+		Array:       pv.SouthamptonArray(),
+		Profile:     pv.StressClouds(seed, duration),
+		Capacitance: 47e-3,
+		InitialVC:   mpp.V,
+		Platform:    plat,
+		Controller:  ctrl,
+		Duration:    duration,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Scenario layer: the registered stress scenario, shortened.
+	spec := MustLookup("stress-clouds")
+	spec.Duration = duration
+	declarative, err := spec.Run(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if manual.Interrupts != declarative.Interrupts ||
+		manual.Brownouts != declarative.Brownouts ||
+		manual.Instructions != declarative.Instructions ||
+		manual.FinalVC != declarative.FinalVC {
+		t.Fatalf("scalar results diverged: %+v vs %+v",
+			[4]float64{float64(manual.Interrupts), float64(manual.Brownouts), manual.Instructions, manual.FinalVC},
+			[4]float64{float64(declarative.Interrupts), float64(declarative.Brownouts), declarative.Instructions, declarative.FinalVC})
+	}
+	mt, mv := manual.VC.Times(), manual.VC.Values()
+	dt, dv := declarative.VC.Times(), declarative.VC.Values()
+	if len(mt) != len(dt) {
+		t.Fatalf("VC trace lengths differ: manual %d vs scenario %d", len(mt), len(dt))
+	}
+	for i := range mt {
+		if mt[i] != dt[i] || mv[i] != dv[i] {
+			t.Fatalf("VC traces diverge at sample %d: (%g,%g) vs (%g,%g)",
+				i, mt[i], mv[i], dt[i], dv[i])
+		}
+	}
+	if manual.Interrupts == 0 {
+		t.Fatal("golden scenario produced no interrupts; equality not exercised")
+	}
+}
+
+// TestBenchScenario: the Fig. 11 bench-supply scenario assembles a
+// voltage source with no PV array and survives its disturbance script.
+func TestBenchScenario(t *testing.T) {
+	spec := MustLookup("fig11-bench")
+	cfg, err := spec.Assemble(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Source == nil || cfg.Array != nil {
+		t.Fatal("bench scenario should assemble a Source, not an Array")
+	}
+	if cfg.TargetVolts != 5.3 || cfg.InitialVC != 5.0 {
+		t.Fatalf("bench voltages wrong: target %g, initial %g", cfg.TargetVolts, cfg.InitialVC)
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BrownedOut {
+		t.Error("fig11 bench scenario browned out")
+	}
+}
+
+// TestBootDefaults: the zero boot OPP resolves per control scheme.
+func TestBootDefaults(t *testing.T) {
+	base := Spec{Profile: FixedProfile(pv.Constant(800)), Duration: 1, SkipSeries: true}
+
+	pn := base
+	cfg, err := pn.Assemble(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.Platform.CommittedOPP(); got != soc.MinOPP() {
+		t.Errorf("power-neutral boot %v, want MinOPP", got)
+	}
+	if cfg.Controller == nil {
+		t.Error("zero Control should assemble the power-neutral controller")
+	}
+
+	gov := base
+	gov.Control = Governed("powersave")
+	cfg, err = gov.Assemble(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := soc.OPP{FreqIdx: 0, Config: soc.CoreConfig{Little: 4, Big: 4}}
+	if got := cfg.Platform.CommittedOPP(); got != want {
+		t.Errorf("governor boot %v, want %v", got, want)
+	}
+	if cfg.Governor == nil || cfg.Controller != nil {
+		t.Error("governor control mis-assembled")
+	}
+
+	st := base
+	st.Control = Uncontrolled()
+	cfg, err = st.Assemble(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Controller != nil || cfg.Governor != nil {
+		t.Error("static control should assemble neither controller nor governor")
+	}
+}
+
+// TestSpecValidation rejects malformed specs.
+func TestSpecValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{"no source", Spec{Duration: 1}, "exactly one"},
+		{"both sources", Spec{
+			Profile:  FixedProfile(pv.Constant(1)),
+			Source:   func(int64, float64) (sim.Source, error) { return nil, nil },
+			Duration: 1,
+		}, "exactly one"},
+		{"no duration", Spec{Profile: FixedProfile(pv.Constant(1))}, "duration"},
+		{"bench no initial", Spec{
+			Source:   func(int64, float64) (sim.Source, error) { return nil, nil },
+			Duration: 1,
+		}, "InitialVC"},
+		{"governor unnamed", Spec{
+			Profile: FixedProfile(pv.Constant(1)), Duration: 1,
+			Control: Control{Kind: LinuxGovernor},
+		}, "governor"},
+	}
+	for _, c := range cases {
+		if _, err := c.spec.Assemble(0); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %v, want containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestRegistry: built-ins are present, lookups copy, duplicates and
+// anonymous specs are rejected.
+func TestRegistry(t *testing.T) {
+	for _, name := range []string{
+		"steady-sun", "fig6-shadow", "stress-clouds", "stress-supercap",
+		"stress-hybrid", "fig12-fullsun", "table2-harvest", "fig11-bench",
+		"solar-day", "overcast-day",
+	} {
+		if _, ok := Lookup(name); !ok {
+			t.Errorf("built-in scenario %q missing", name)
+		}
+	}
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names not sorted: %v", names)
+		}
+	}
+	if err := Register(Spec{Profile: FixedProfile(pv.Constant(1)), Duration: 1}); err == nil {
+		t.Error("anonymous spec accepted")
+	}
+	if err := Register(MustLookup("steady-sun")); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	// Mutating a lookup result must not touch the registry.
+	s := MustLookup("steady-sun")
+	s.Duration = 1
+	if MustLookup("steady-sun").Duration != 60 {
+		t.Error("registry entry mutated through a lookup copy")
+	}
+}
+
+// TestBuiltinsAssemble: every registered scenario assembles cleanly.
+func TestBuiltinsAssemble(t *testing.T) {
+	for _, spec := range List() {
+		if _, err := spec.Assemble(1); err != nil {
+			t.Errorf("%s: %v", spec.Name, err)
+		}
+	}
+}
+
+// TestMinCapacitanceGeneralises: the minimum surviving buffer through
+// the Fig. 6 shadow is tens of millifarads for an ideal capacitor, and
+// a leaky, resistive supercap family needs at least as much.
+func TestMinCapacitanceGeneralises(t *testing.T) {
+	spec := MustLookup("fig6-shadow")
+	spec.Duration = 12
+
+	ideal, err := MinCapacitance(spec, 0, IdealCaps(), 0.2e-3, 10, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ideal <= 0 || ideal >= 47e-3 {
+		t.Errorf("ideal min capacitance %.1f mF outside (0, 47) mF", ideal*1e3)
+	}
+	bank := sim.NewSupercap(buffer.Supercap{
+		Farads: 47e-3, ESROhms: 0.1, LeakOhms: 200, VMax: soc.MaxOperatingVolts,
+	})
+	lossy, err := MinCapacitance(spec, 0, SupercapsLike(bank), 0.2e-3, 10, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossy < ideal*(1-0.05) {
+		t.Errorf("lossy supercap min %.2f mF beat ideal %.2f mF", lossy*1e3, ideal*1e3)
+	}
+}

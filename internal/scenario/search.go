@@ -1,0 +1,46 @@
+package scenario
+
+import (
+	"pnps/internal/buffer"
+	"pnps/internal/sim"
+)
+
+// StorageMaker builds a storage model of a given headline capacitance,
+// letting the minimum-buffer search range over any storage family —
+// ideal capacitors, supercap banks with fixed parasitics, hybrid
+// buffers with a scaled reservoir.
+type StorageMaker func(farads float64) sim.Storage
+
+// IdealCaps is the StorageMaker for lossless capacitors.
+func IdealCaps() StorageMaker {
+	return func(farads float64) sim.Storage { return sim.IdealCap{Farads: farads} }
+}
+
+// SupercapsLike scales the capacitance of a template bank while keeping
+// its ESR, leakage and rating fixed.
+func SupercapsLike(template sim.Supercap) StorageMaker {
+	return func(farads float64) sim.Storage {
+		bank := template.Supercap
+		bank.Farads = farads
+		return sim.NewSupercap(bank)
+	}
+}
+
+// MinCapacitance binary-searches the smallest buffer capacitance in
+// [lo, hi] farads (to within relTol) for which the scenario completes
+// without a brownout — the buffers experiment generalised from the
+// hard-coded ideal capacitor to any Storage family. Survival must be
+// monotone in capacitance over the bracket.
+func MinCapacitance(s Spec, seed int64, mk StorageMaker, lo, hi, relTol float64) (float64, error) {
+	s.SkipSeries = true
+	survive := func(farads float64) (bool, error) {
+		sp := s
+		sp.Storage = mk(farads)
+		res, err := sp.Run(seed)
+		if err != nil {
+			return false, err
+		}
+		return !res.BrownedOut, nil
+	}
+	return buffer.MinCapacitance(survive, lo, hi, relTol)
+}

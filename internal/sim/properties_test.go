@@ -12,9 +12,10 @@ import (
 )
 
 // shadowScenario is a survivable but stressing profile shared by the
-// property tests.
+// property tests — the shared Fig. 6 deep shadow, one second later so
+// the loop settles first.
 func shadowScenario() pv.Profile {
-	return pv.Shadow{Base: 1000, Depth: 0.6, Start: 5, Duration: 3, Edge: 0.4}
+	return pv.DeepShadow(5)
 }
 
 func runControlled(t *testing.T, capacitance, vwidth float64, duration float64) *Result {

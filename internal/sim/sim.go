@@ -39,9 +39,15 @@ type Config struct {
 	Array *pv.Array
 	// Profile drives irradiance over time (used when Source is nil).
 	Profile pv.Profile
-	// Capacitance is the buffer capacitor in farads (paper: 47 mF).
+	// Storage is the supply-node energy buffer. If nil, an IdealCap of
+	// Capacitance farads is used (the historical behaviour). Set at most
+	// one of Storage and Capacitance.
+	Storage Storage
+	// Capacitance is the buffer capacitor in farads (paper: 47 mF);
+	// shorthand for Storage = IdealCap{Farads: Capacitance}.
 	Capacitance float64
-	// InitialVC is the capacitor voltage at t=0, volts.
+	// InitialVC is the buffer's terminal voltage at t=0, volts (the
+	// storage is initialised at rest from it).
 	InitialVC float64
 	// Platform is the simulated board. Its boot OPP is taken as already
 	// set by the caller via Reset.
@@ -123,6 +129,10 @@ type Result struct {
 	GovernorTicks int
 	// FinalVC is the supply voltage at the end of the run.
 	FinalVC float64
+	// StorageEnergyStartJ and StorageEnergyEndJ bracket the energy held
+	// in the buffer (joules), so campaigns can account for energy parked
+	// in — or drained from — the storage itself.
+	StorageEnergyStartJ, StorageEnergyEndJ float64
 	// TargetVolts echoes the stability target used.
 	TargetVolts float64
 }
@@ -146,6 +156,7 @@ type engine struct {
 	src      Source
 	pvSrc    *PVSource // non-nil when the source is photovoltaic
 	fast     *pv.Solver
+	storage  Storage
 	platform *soc.Platform
 	ctrl     *core.Controller
 	gov      governor.Governor
@@ -162,11 +173,15 @@ type engine struct {
 	framesBase float64
 
 	// Per-run integration hot-path state, allocated once: a reusable
-	// stepper, the 1-dim state buffer, the event scratch slice and the
+	// stepper, the storage state buffer, the event scratch slice and the
 	// hoisted RHS/OnStep/event closures (rebuilding them per segment cost
 	// an allocation each across tens of thousands of segments).
-	integ                              ode.Integrator
-	y                                  [1]float64
+	integ ode.Integrator
+	// ybuf backs the storage state vector; y is ybuf[:Storage.Dim()].
+	// State 0 is the sensed supply voltage (events, traces, brownout);
+	// further states are storage-internal (e.g. a hybrid reservoir).
+	ybuf                               [MaxStorageStates]float64
+	y                                  []float64
 	lastH                              float64 // step-size carry across segments
 	events                             []ode.Event
 	rhsFn                              ode.RHS
@@ -184,12 +199,16 @@ func Run(cfg Config) (*Result, error) {
 	e := &engine{
 		cfg:      cfg,
 		src:      cfg.Source,
+		storage:  cfg.Storage,
 		platform: cfg.Platform,
 		ctrl:     cfg.Controller,
 		gov:      cfg.Governor,
 		vc:       cfg.InitialVC,
 		alive:    true,
 	}
+	e.y = e.ybuf[:e.storage.Dim()]
+	e.storage.Init(cfg.InitialVC, e.y)
+	e.res.StorageEnergyStartJ = e.storage.Energy(e.y)
 	if p, ok := e.src.(PVSource); ok {
 		e.pvSrc = &p
 	} else if p, ok := e.src.(*PVSource); ok {
@@ -269,6 +288,7 @@ func Run(cfg Config) (*Result, error) {
 	e.res.Frames = e.framesBase + e.platform.Frames()
 	e.res.LifetimeSeconds = e.aliveFor
 	e.res.FinalVC = e.vc
+	e.res.StorageEnergyEndJ = e.storage.Energy(e.y)
 	if e.ctrl != nil {
 		e.res.ControllerStats = e.ctrl.Stats()
 		e.res.Interrupts = e.hw.Interrupts()
@@ -290,8 +310,21 @@ func validate(cfg *Config) error {
 	if cfg.Platform == nil {
 		return errors.New("sim: Config.Platform is required")
 	}
-	if cfg.Capacitance <= 0 {
-		return fmt.Errorf("sim: capacitance must be positive, got %g", cfg.Capacitance)
+	if cfg.Storage == nil {
+		if cfg.Capacitance <= 0 {
+			return fmt.Errorf("sim: capacitance must be positive, got %g", cfg.Capacitance)
+		}
+		cfg.Storage = IdealCap{Farads: cfg.Capacitance}
+	} else {
+		if cfg.Capacitance != 0 {
+			return errors.New("sim: set at most one of Storage and Capacitance")
+		}
+		if err := cfg.Storage.Validate(); err != nil {
+			return err
+		}
+		if d := cfg.Storage.Dim(); d < 1 || d > MaxStorageStates {
+			return fmt.Errorf("sim: storage dimension %d outside 1..%d", d, MaxStorageStates)
+		}
 	}
 	if cfg.Duration <= 0 {
 		return fmt.Errorf("sim: duration must be positive, got %g", cfg.Duration)
@@ -328,19 +361,45 @@ func validate(cfg *Config) error {
 	return nil
 }
 
-// rhs returns the supply-node derivative at (t, vc) for the current
-// discrete state.
+// rhs evaluates the storage-state derivative at (t, y) for the current
+// discrete state: a predictor pass computes the net node current at the
+// sensed voltage y[0]; if the storage reports a shifted terminal voltage
+// (series resistance), one corrector pass re-evaluates harvest and load
+// there. Storage without an ESR term (ideal, hybrid) takes the single
+// pass and reproduces the historical capacitor maths bit for bit.
 func (e *engine) rhs(t float64, y, dydt []float64) {
-	vc := y[0]
-	if vc < 0 {
-		vc = 0
+	v := y[0]
+	if v < 0 {
+		v = 0
 	}
+	inet := e.netCurrent(t, v)
+	if vt := e.storage.Terminal(y, inet); vt != y[0] {
+		if vt < 0 {
+			vt = 0
+		}
+		if vt != v {
+			inet = e.netCurrent(t, vt)
+		}
+	}
+	e.storage.Derivative(y, inet, dydt)
+	// No state voltage can discharge below zero (the array blocks
+	// reverse current physically; this guards numerical undershoot).
+	for i := range dydt {
+		if y[i] <= 0 && dydt[i] < 0 {
+			dydt[i] = 0
+		}
+	}
+}
+
+// netCurrent returns the net current into the storage branch (harvest
+// minus board and monitor draw) with the node at voltage v.
+func (e *engine) netCurrent(t, v float64) float64 {
 	var isrc float64
 	var err error
 	if e.fast != nil {
-		isrc, err = e.fast.CurrentAt(vc, e.pvSrc.Profile.Irradiance(t))
+		isrc, err = e.fast.CurrentAt(v, e.pvSrc.Profile.Irradiance(t))
 	} else {
-		isrc, err = e.src.Current(t, vc)
+		isrc, err = e.src.Current(t, v)
 	}
 	if err != nil {
 		// Out-of-range solves should not occur with validated params;
@@ -349,17 +408,12 @@ func (e *engine) rhs(t float64, y, dydt []float64) {
 	}
 	iload := 0.0
 	if e.alive {
-		iload = e.platform.CurrentDraw(vc)
-		if e.hw != nil && vc > 0 {
-			iload += e.hw.PowerWatts() / vc
+		iload = e.platform.CurrentDraw(v)
+		if e.hw != nil && v > 0 {
+			iload += e.hw.PowerWatts() / v
 		}
 	}
-	dydt[0] = (isrc - iload) / e.cfg.Capacitance
-	// The node voltage cannot discharge below zero (the array blocks
-	// reverse current physically; this guards numerical undershoot).
-	if y[0] <= 0 && dydt[0] < 0 {
-		dydt[0] = 0
-	}
+	return isrc - iload
 }
 
 // record samples every enabled series at (t, vc). Appends are deduplicated
@@ -540,10 +594,11 @@ func (e *engine) run() error {
 	return nil
 }
 
-// stateBuf loads the current Vc into the persistent 1-dim state buffer.
+// stateBuf syncs the sensed voltage into the persistent storage state
+// buffer; storage-internal states (indices ≥ 1) carry over untouched.
 func (e *engine) stateBuf() []float64 {
 	e.y[0] = e.vc
-	return e.y[:]
+	return e.y
 }
 
 // buildEvents assembles the ODE event set for the current discrete state

@@ -29,10 +29,12 @@ import (
 	"context"
 
 	"pnps/internal/batch"
+	"pnps/internal/buffer"
 	"pnps/internal/core"
 	"pnps/internal/experiments"
 	"pnps/internal/governor"
 	"pnps/internal/pv"
+	"pnps/internal/scenario"
 	"pnps/internal/sim"
 	"pnps/internal/soc"
 )
@@ -75,6 +77,100 @@ type (
 	// Governor is a baseline cpufreq-style frequency governor.
 	Governor = governor.Governor
 )
+
+// Storage types: pluggable supply-node buffers for the live ODE.
+type (
+	// Storage models the supply-node energy buffer (terminal voltage,
+	// state derivative, energy accounting).
+	Storage = sim.Storage
+	// IdealCapacitor is the paper's lossless buffer capacitor.
+	IdealCapacitor = sim.IdealCap
+	// SupercapBank is a supercapacitor with ESR and leakage simulated in
+	// the loop.
+	SupercapBank = sim.Supercap
+	// HybridBuffer is a small node capacitor backed by a large reservoir
+	// behind a diode.
+	HybridBuffer = sim.HybridCap
+	// SupercapParams are the bank parameters (capacitance, ESR, leakage,
+	// rating) shared with the offline sizing maths.
+	SupercapParams = buffer.Supercap
+)
+
+// NewSupercapBank adapts a parameterised supercapacitor bank for the
+// live simulation loop.
+func NewSupercapBank(p SupercapParams) SupercapBank { return sim.NewSupercap(p) }
+
+// Scenario and campaign types: the declarative run-assembly layer.
+type (
+	// Scenario declares one simulation run end to end (source, storage,
+	// platform, control, workload, duration).
+	Scenario = scenario.Spec
+	// ScenarioControl selects a run's power-management scheme.
+	ScenarioControl = scenario.Control
+	// Campaign fans Monte-Carlo variations of a scenario across the
+	// deterministic batch engine.
+	Campaign = scenario.Campaign
+	// CampaignOutcome is a completed campaign: per-run results plus the
+	// deterministic aggregate summary.
+	CampaignOutcome = scenario.Outcome
+	// CampaignSummary is the order-independent campaign aggregate.
+	CampaignSummary = scenario.Summary
+	// CampaignVariant perturbs the spec for one campaign run.
+	CampaignVariant = scenario.Variant
+)
+
+// RegisterScenario adds a named scenario to the shared registry.
+func RegisterScenario(s Scenario) error { return scenario.Register(s) }
+
+// LookupScenario returns a registered scenario by name; mutating the
+// returned copy never affects the registry.
+func LookupScenario(name string) (Scenario, bool) { return scenario.Lookup(name) }
+
+// ScenarioNames lists the registered scenario names in sorted order.
+func ScenarioNames() []string { return scenario.Names() }
+
+// Scenarios returns every registered scenario sorted by name.
+func Scenarios() []Scenario { return scenario.List() }
+
+// RunScenario assembles and executes a registered scenario with the
+// given seed.
+func RunScenario(name string, seed int64) (*SimResult, error) {
+	s, ok := scenario.Lookup(name)
+	if !ok {
+		return nil, &UnknownScenarioError{Name: name}
+	}
+	return s.Run(seed)
+}
+
+// UnknownScenarioError reports a scenario name missing from the registry.
+type UnknownScenarioError struct{ Name string }
+
+func (e *UnknownScenarioError) Error() string {
+	return "pnps: unknown scenario \"" + e.Name + "\""
+}
+
+// FixedIrradiance adapts an already-built profile for scenarios whose
+// irradiance does not vary with the seed.
+func FixedIrradiance(p IrradianceProfile) scenario.ProfileFunc {
+	return scenario.FixedProfile(p)
+}
+
+// ControlledBy returns a power-neutral scenario control with explicit
+// parameters; the Scenario zero value already selects the defaults.
+func ControlledBy(p ControllerParams) ScenarioControl { return scenario.Controlled(p) }
+
+// Uncontrolled returns a static (no runtime control) scenario control.
+func Uncontrolled() ScenarioControl { return scenario.Uncontrolled() }
+
+// GovernedBy returns a Linux-governor scenario control by cpufreq name.
+func GovernedBy(name string) ScenarioControl { return scenario.Governed(name) }
+
+// MinScenarioCapacitance binary-searches the smallest buffer (in farads,
+// within [lo, hi] to relTol) of the given storage family that keeps the
+// scenario alive.
+func MinScenarioCapacitance(s Scenario, seed int64, mk func(farads float64) Storage, lo, hi, relTol float64) (float64, error) {
+	return scenario.MinCapacitance(s, seed, mk, lo, hi, relTol)
+}
 
 // DefaultControllerParams returns the paper's simulation-optimised
 // parameters (Section III): Vwidth=144 mV, Vq=47.9 mV, α=0.120 V/s,
