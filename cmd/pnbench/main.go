@@ -1,0 +1,182 @@
+// Command pnbench runs the repository's key performance benchmarks
+// reproducibly and emits a machine-readable JSON report, so perf
+// trajectories can be tracked commit over commit without ad-hoc
+// harnesses:
+//
+//	pnbench [-out BENCH_campaign.json] [-bench regex] [-benchtime 5x] [-count 1] [-pkg ./...]
+//
+// It shells out to `go test -run ^$ -bench <regex> -benchmem` and
+// parses the standard benchmark output into one record per benchmark:
+// iterations, ns/op, B/op, allocs/op and any custom metrics
+// (e.g. meanPct5 for campaign stability). The default benchmark set is
+// the perf-critical path: the storage-dispatch alloc guard, the
+// end-to-end controller minute and the trace-free campaign.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// defaultBench selects the benchmarks whose numbers the README quotes.
+const defaultBench = "BenchmarkStorageDispatch|BenchmarkSimControllerMinute|BenchmarkCampaignTraceFree|BenchmarkIntegratorSegment"
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the full benchmark name including sub-benchmark and the
+	// -cpu suffix (e.g. "BenchmarkStorageDispatch/ideal-8").
+	Name string `json:"name"`
+	// Package is the Go package the benchmark ran in.
+	Package string `json:"package"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is wall time per iteration.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present with -benchmem.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric values by unit name.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Timestamp string   `json:"timestamp"`
+	Bench     string   `json:"bench_regex"`
+	Benchtime string   `json:"benchtime"`
+	Results   []Result `json:"results"`
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH_campaign.json", "output JSON path (- for stdout)")
+		bench     = flag.String("bench", defaultBench, "benchmark regex passed to go test -bench")
+		benchtime = flag.String("benchtime", "5x", "go test -benchtime value (fixed -Nx iteration counts keep runs reproducible)")
+		count     = flag.Int("count", 1, "go test -count value")
+		pkg       = flag.String("pkg", "./...", "package pattern to benchmark")
+		verbose   = flag.Bool("v", false, "echo the raw go test output to stderr")
+	)
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
+		"-benchtime", *benchtime, "-count", strconv.Itoa(*count), *pkg}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if *verbose {
+		fmt.Fprint(os.Stderr, string(raw))
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pnbench: go %s: %v\n", strings.Join(args, " "), err)
+		os.Exit(1)
+	}
+
+	rep := Report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Bench:     *bench,
+		Benchtime: *benchtime,
+		Results:   parseBenchOutput(string(raw)),
+	}
+	if len(rep.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "pnbench: no benchmark results parsed — check the -bench regex")
+		os.Exit(1)
+	}
+
+	var w *os.File
+	if *out == "-" {
+		w = os.Stdout
+	} else {
+		w, err = os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pnbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer w.Close()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "pnbench: %v\n", err)
+		os.Exit(1)
+	}
+	if *out != "-" {
+		fmt.Printf("pnbench: wrote %d results to %s\n", len(rep.Results), *out)
+	}
+}
+
+// parseBenchOutput extracts benchmark result lines from go test output.
+// Package context comes from the interleaved "pkg:" lines.
+func parseBenchOutput(out string) []Result {
+	var results []Result
+	pkg := ""
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "pkg:") {
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		}
+		if r, ok := parseBenchLine(line, pkg); ok {
+			results = append(results, r)
+		}
+	}
+	return results
+}
+
+// parseBenchLine parses one standard benchmark output line:
+//
+//	BenchmarkName/sub-8  	 100	 123456 ns/op	 42 B/op	 7 allocs/op	 93.3 pct5
+//
+// ok is false for non-benchmark lines.
+func parseBenchLine(line, pkg string) (Result, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Result{}, false
+	}
+	fields := strings.Fields(line)
+	// Minimum shape: name, iterations, value, unit.
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Package: pkg, Iterations: iters}
+	seen := false
+	// The remainder is (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+			seen = true
+		case "B/op":
+			b := v
+			r.BytesPerOp = &b
+		case "allocs/op":
+			a := v
+			r.AllocsPerOp = &a
+		default:
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[unit] = v
+		}
+	}
+	return r, seen
+}

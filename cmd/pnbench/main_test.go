@@ -1,0 +1,71 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	pkg := "pnps/internal/sim"
+	r, ok := parseBenchLine(
+		"BenchmarkStorageDispatch/ideal-8         \t       5\t   7502666 ns/op\t    6177 B/op\t      31 allocs/op", pkg)
+	if !ok {
+		t.Fatal("benchmark line rejected")
+	}
+	if r.Name != "BenchmarkStorageDispatch/ideal-8" || r.Package != pkg {
+		t.Errorf("identity: %+v", r)
+	}
+	if r.Iterations != 5 || r.NsPerOp != 7502666 {
+		t.Errorf("timing: %+v", r)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 6177 || r.AllocsPerOp == nil || *r.AllocsPerOp != 31 {
+		t.Errorf("memory: %+v", r)
+	}
+}
+
+func TestParseBenchLineCustomMetrics(t *testing.T) {
+	r, ok := parseBenchLine(
+		"BenchmarkCampaignTraceFree/workers=4-8 \t 3\t 11937706 ns/op\t 22.02 meanPct5\t 452954 B/op\t 1453 allocs/op", "p")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if r.Metrics["meanPct5"] != 22.02 {
+		t.Errorf("custom metric: %+v", r.Metrics)
+	}
+}
+
+func TestParseBenchLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"goos: linux",
+		"PASS",
+		"ok  \tpnps/internal/sim\t0.12s",
+		"BenchmarkBroken",                     // no fields
+		"BenchmarkNoTiming-8 \t 10\t 42 B/op", // pairs but no ns/op
+		"Benchmark bad iteration count x ns/op",
+	} {
+		if _, ok := parseBenchLine(line, ""); ok {
+			t.Errorf("accepted %q", line)
+		}
+	}
+}
+
+func TestParseBenchOutputTracksPackages(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: pnps/internal/sim
+cpu: Intel
+BenchmarkA-8   	 10	 100 ns/op
+PASS
+pkg: pnps/internal/scenario
+BenchmarkB-8   	 20	 200 ns/op	 5 B/op	 1 allocs/op
+PASS
+`
+	rs := parseBenchOutput(out)
+	if len(rs) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(rs))
+	}
+	if rs[0].Package != "pnps/internal/sim" || rs[1].Package != "pnps/internal/scenario" {
+		t.Errorf("package attribution: %+v", rs)
+	}
+	if rs[0].BytesPerOp != nil || rs[1].BytesPerOp == nil {
+		t.Error("benchmem fields mis-parsed")
+	}
+}

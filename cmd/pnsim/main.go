@@ -8,8 +8,9 @@
 //
 //	pnsim [-seed N] [-csv dir] [-workers N] <experiment>...
 //	pnsim -all
-//	pnsim -scenario name [-mc N]
+//	pnsim -scenario name [-mc N] [-json file]
 //	pnsim -list
+//	pnsim -cpuprofile cpu.out -memprofile mem.out ...
 //
 // With -csv, every series the experiment records is written as
 // <dir>/<experiment>.csv for external plotting. Experiments are
@@ -18,8 +19,15 @@
 //
 // -scenario runs one registered scenario (see -list for names) and
 // prints its outcome; with -mc N it becomes a Monte-Carlo campaign of N
-// seed-varied repetitions fanned over -workers goroutines, reporting
-// the deterministic aggregate.
+// seed-varied repetitions fanned over -workers goroutines. Campaigns
+// run trace-free — online observers accumulate within-band stability,
+// supply envelopes and the dwell-time voltage histogram per run, so
+// memory stays O(1) per in-flight run at any -mc count — and report the
+// deterministic aggregate (bit-identical for any -workers). -csv writes
+// the per-run scalar outcomes, -json the aggregate summary.
+//
+// -cpuprofile and -memprofile write pprof profiles of whatever workload
+// the other flags select, so perf hunts run against the real CLI paths.
 package main
 
 import (
@@ -29,6 +37,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 
 	"pnps/internal/experiments"
 	"pnps/internal/scenario"
@@ -36,7 +45,11 @@ import (
 	"pnps/internal/trace"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main with an exit code, so the profiling defers flush before
+// the process exits (os.Exit would skip them).
+func run() int {
 	var (
 		seed    = flag.Int64("seed", experiments.DefaultSeed, "random seed for stochastic scenarios")
 		csvDir  = flag.String("csv", "", "directory to write per-experiment CSV series into")
@@ -45,8 +58,45 @@ func main() {
 		list    = flag.Bool("list", false, "list experiment ids and scenario names, then exit")
 		scn     = flag.String("scenario", "", "run a registered scenario instead of experiments")
 		mc      = flag.Int("mc", 1, "with -scenario: Monte-Carlo repetitions (campaign mode when > 1)")
+		jsonOut = flag.String("json", "", "with -scenario -mc: write the campaign aggregate (summary, groups, histogram) as JSON to this file")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file (pprof)")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit (pprof)")
 	)
 	flag.Parse()
+
+	// Profiling hooks so perf hunts run against the real CLI workloads
+	// instead of ad-hoc harnesses: pnsim -memprofile mem.out -scenario
+	// stress-clouds -mc 1000, then go tool pprof.
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pnsim: cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "pnsim: cpuprofile: %v\n", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pnsim: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "pnsim: memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		fmt.Println("experiments:")
@@ -57,15 +107,15 @@ func main() {
 		for _, s := range scenario.List() {
 			fmt.Printf("  %-18s %s\n", s.Name, s.Description)
 		}
-		return
+		return 0
 	}
 
 	if *scn != "" {
-		if err := runScenario(*scn, *seed, *mc, *workers, *csvDir); err != nil {
+		if err := runScenario(*scn, *seed, *mc, *workers, *csvDir, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "pnsim: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	ids := flag.Args()
@@ -74,7 +124,7 @@ func main() {
 	}
 	if len(ids) == 0 {
 		fmt.Fprintln(os.Stderr, "pnsim: no experiments given; try -list, -all or -scenario")
-		os.Exit(2)
+		return 2
 	}
 	reps, runErr := experiments.RunAll(context.Background(), experiments.RunAllOptions{
 		IDs: ids, Seed: *seed, Workers: *workers,
@@ -96,18 +146,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pnsim: %v\n", runErr)
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // runScenario executes one registered scenario, or a Monte-Carlo
 // campaign of it when mc > 1.
-func runScenario(name string, seed int64, mc, workers int, csvDir string) error {
+func runScenario(name string, seed int64, mc, workers int, csvDir, jsonOut string) error {
 	spec, ok := scenario.Lookup(name)
 	if !ok {
 		return fmt.Errorf("unknown scenario %q (known: %v)", name, scenario.Names())
 	}
 	if mc <= 1 {
+		if jsonOut != "" {
+			return fmt.Errorf("-json exports a campaign aggregate and needs -mc > 1")
+		}
 		res, err := spec.Run(seed)
 		if err != nil {
 			return err
@@ -130,6 +184,13 @@ func runScenario(name string, seed int64, mc, workers int, csvDir string) error 
 
 	out, err := scenario.Campaign{
 		Base: spec, Runs: mc, Seed: seed, Workers: workers,
+		// Campaign-level supply distribution: trace-free dwell-time
+		// histogram. The bounds span everything the node can physically
+		// do — full brownout decay (0 V) up past any PV open-circuit
+		// voltage — so no dwell mass lands in under/overflow and the
+		// reported median is never clamped to an artificial bound.
+		// 250 bins keep 40 mV resolution.
+		VCHistBins: 250, VCHistLo: 0, VCHistHi: 10,
 		OnProgress: func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\rpnsim: %d/%d campaign runs", done, total)
 			if done == total {
@@ -145,18 +206,41 @@ func runScenario(name string, seed int64, mc, workers int, csvDir string) error 
 			return err
 		}
 	}
+	if jsonOut != "" {
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			return err
+		}
+		if err := out.WriteSummaryJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonOut)
+	}
 	s := out.Summary
 	fmt.Printf("campaign %s: %d runs (base seed %d)\n", name, s.Runs, seed)
 	fmt.Printf("  survival rate:      %.1f%%\n", s.SurvivalRate*100)
 	fmt.Printf("  total brownouts:    %d\n", s.TotalBrownouts)
+	fmt.Printf("  within 5%% of target: mean %.1f%% (P5 %.1f%%, median %.1f%%, P95 %.1f%%)\n",
+		s.Stability.Mean*100, s.Stability.P5*100, s.Stability.Median*100, s.Stability.P95*100)
 	p := func(label, unit string, sm stats.Summary, scale float64) {
-		fmt.Printf("  %-19s mean %.3f %s (min %.3f, max %.3f, σ %.3f)\n",
-			label+":", sm.Mean*scale, unit, sm.Min*scale, sm.Max*scale, sm.StdDev*scale)
+		fmt.Printf("  %-19s mean %.3f %s (min %.3f, max %.3f, σ %.3f, P25..P75 %.3f..%.3f)\n",
+			label+":", sm.Mean*scale, unit, sm.Min*scale, sm.Max*scale, sm.StdDev*scale,
+			sm.P25*scale, sm.P75*scale)
 	}
 	p("instructions", "G", s.Instructions, 1e-9)
 	p("lifetime", "s", s.LifetimeSeconds, 1)
 	p("final supply", "V", s.FinalVC, 1)
+	p("min supply", "V", s.MinVC, 1)
 	p("storage Δenergy", "J", s.StorageEnergyDeltaJ, 1)
+	if h := out.VCHistogram; h != nil {
+		if med, err := h.Quantile(0.5); err == nil {
+			fmt.Printf("  supply dwell median: %.3f V over %.0f run-seconds\n", med, h.Total())
+		}
+	}
 	return nil
 }
 
@@ -171,16 +255,8 @@ func writeCampaignCSV(dir, id string, out *scenario.Outcome) error {
 		return err
 	}
 	defer f.Close()
-	if _, err := fmt.Fprintln(f, "run,seed,survived,brownouts,lifetime_s,instructions,final_vc_v,storage_denergy_j"); err != nil {
+	if err := out.WriteRunsCSV(f); err != nil {
 		return err
-	}
-	for _, r := range out.Results {
-		res := r.Result
-		if _, err := fmt.Fprintf(f, "%d,%d,%v,%d,%g,%g,%g,%g\n",
-			r.Index, r.Seed, !res.BrownedOut, res.Brownouts, res.LifetimeSeconds,
-			res.Instructions, res.FinalVC, res.StorageEnergyEndJ-res.StorageEnergyStartJ); err != nil {
-			return err
-		}
 	}
 	fmt.Printf("wrote %s\n", path)
 	return f.Close()

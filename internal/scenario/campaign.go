@@ -18,11 +18,30 @@ import (
 // per run even with a nil Variant.
 type Variant func(k int, seed int64, s *Spec)
 
+// GroupFunc labels one campaign run for grouped aggregation. It runs
+// after Vary, so the label can reflect the perturbation (e.g. the
+// storage model swapped in); the spec is passed by value — grouping
+// classifies a run, it cannot change it (mutate in Vary instead). Runs
+// sharing a label aggregate into one GroupSummary.
+type GroupFunc func(k int, seed int64, s Spec) string
+
+// DefaultStabilityBands are the fractional supply-stability bands every
+// campaign run accumulates online (±5%, the paper's headline metric,
+// and ±10%): campaigns report within-band stability without retaining
+// any trace.
+var DefaultStabilityBands = []float64{0.05, 0.10}
+
 // Campaign fans Monte-Carlo variations of a base scenario across the
 // deterministic batch engine: run k executes Base (perturbed by Vary)
 // with seed batch.Seed(Seed, k). Results are collected in run order and
 // aggregated sequentially, so a campaign's Outcome is bit-identical for
 // any Workers value.
+//
+// Campaigns are trace-free by default: each run carries online
+// observers (stability bands, the supply envelope, optionally a
+// dwell-time voltage histogram) instead of time series, so memory per
+// in-flight run is O(1) and a 10k-run campaign needs no more memory
+// than its worker count times one run.
 type Campaign struct {
 	// Base is the scenario every run starts from.
 	Base Spec
@@ -33,6 +52,10 @@ type Campaign struct {
 	// Vary, when non-nil, perturbs the spec for each run; a nil Vary
 	// varies only the seed (independent weather realisations).
 	Vary Variant
+	// Group, when non-nil, labels each run; the Outcome then carries one
+	// GroupSummary per distinct label (in first-occurrence run order)
+	// alongside the overall Summary.
+	Group GroupFunc
 	// Workers bounds concurrency; <= 0 selects GOMAXPROCS.
 	Workers int
 	// OnProgress, when non-nil, is called after each completed run with
@@ -40,8 +63,21 @@ type Campaign struct {
 	OnProgress func(completed, total int)
 	// KeepSeries retains per-run time series. Off by default: a
 	// campaign of long scenarios would otherwise hold every trace of
-	// every run in memory at once.
+	// every run in memory at once. Stability and envelope aggregation
+	// are identical either way — the online accumulators are
+	// bit-identical to the series analyses.
 	KeepSeries bool
+	// StabilityBands overrides DefaultStabilityBands (fractional
+	// half-widths around the run's target voltage). The ±5% band the
+	// Summary aggregates is always included, whatever is listed here.
+	StabilityBands []float64
+	// VCHistBins, when positive, attaches a per-run dwell-time histogram
+	// of the supply voltage with this many bins over [VCHistLo,
+	// VCHistHi) and merges them (in run order) into Outcome.VCHistogram
+	// — the campaign-level "time at each operating voltage" distribution
+	// (paper Fig. 13) without any trace.
+	VCHistBins         int
+	VCHistLo, VCHistHi float64
 }
 
 // RunResult pairs one campaign run with its identity.
@@ -50,13 +86,22 @@ type RunResult struct {
 	Index int
 	// Seed is the derived per-run seed.
 	Seed int64
+	// Group is the aggregation label assigned by Campaign.Group ("" when
+	// ungrouped).
+	Group string
 	// Spec is the (possibly perturbed) scenario the run executed.
 	Spec Spec
 	// Result is the simulation outcome.
 	Result *sim.Result
+
+	// vcHist is the per-run dwell-time histogram (VCHistBins > 0 only),
+	// merged into Outcome.VCHistogram during summarise.
+	vcHist *stats.Histogram
 }
 
-// Summary aggregates a campaign deterministically (in run order).
+// Summary aggregates campaign runs deterministically (in run order).
+// Each stats.Summary carries the quantile band (P5/P25/median/P75/P95)
+// alongside the moments.
 type Summary struct {
 	// Runs is the number of completed runs.
 	Runs int
@@ -65,8 +110,8 @@ type Summary struct {
 	// TotalBrownouts counts brownouts across all runs.
 	TotalBrownouts int
 	// Stability summarises the per-run fraction of time within ±5% of
-	// the target voltage. It needs the VC trace, so it is all zeros
-	// unless the campaign sets KeepSeries.
+	// the target voltage — computed by the online stability observers,
+	// so it is available (and bit-identical) with or without KeepSeries.
 	Stability stats.Summary
 	// Instructions summarises per-run completed instructions.
 	Instructions stats.Summary
@@ -74,17 +119,56 @@ type Summary struct {
 	LifetimeSeconds stats.Summary
 	// FinalVC summarises the per-run final supply voltage.
 	FinalVC stats.Summary
+	// MinVC summarises the per-run supply-voltage minimum (from the
+	// online envelope; the paper's brownout-margin view).
+	MinVC stats.Summary
 	// StorageEnergyDeltaJ summarises per-run stored-energy change
 	// (end − start), joules.
 	StorageEnergyDeltaJ stats.Summary
 }
 
+// GroupSummary is the aggregate of the runs sharing one Group label.
+type GroupSummary struct {
+	// Name is the group label.
+	Name string
+	// Summary is the group's aggregate.
+	Summary Summary
+}
+
 // Outcome is a completed campaign.
 type Outcome struct {
-	// Results holds every run in campaign order.
+	// Results holds every run in campaign order. Trace-free campaigns
+	// retain only scalar outcomes per run (sim.Result without series).
 	Results []RunResult
-	// Summary is the deterministic aggregate.
+	// Summary is the deterministic aggregate over all runs.
 	Summary Summary
+	// Groups holds one aggregate per Campaign.Group label, ordered by
+	// first occurrence; nil when the campaign was ungrouped.
+	Groups []GroupSummary
+	// VCHistogram is the run-order merge of the per-run dwell-time
+	// voltage histograms (VCHistBins > 0 only).
+	VCHistogram *stats.Histogram
+}
+
+// summaryBand is the fractional band Summary.Stability aggregates (the
+// paper's headline ±5%).
+const summaryBand = 0.05
+
+// stabilityBands returns the effective per-run stability bands. The
+// summary band is guaranteed to be present: without it, every run's
+// StabilityWithin(0.05) would be NaN trace-free and the campaign's
+// headline stability aggregate would silently vanish.
+func (c Campaign) stabilityBands() []float64 {
+	bands := c.StabilityBands
+	if len(bands) == 0 {
+		bands = DefaultStabilityBands
+	}
+	for _, pct := range bands {
+		if pct == summaryBand {
+			return bands
+		}
+	}
+	return append(append([]float64(nil), bands...), summaryBand)
 }
 
 // Run executes the campaign. Runs are independent simulations fanned
@@ -94,7 +178,11 @@ func (c Campaign) Run(ctx context.Context) (*Outcome, error) {
 	if c.Runs <= 0 {
 		return nil, fmt.Errorf("scenario: campaign needs a positive run count, got %d", c.Runs)
 	}
-	// Derive every run's spec and seed up front, deterministically.
+	if c.VCHistBins > 0 && !(c.VCHistHi > c.VCHistLo) {
+		return nil, fmt.Errorf("scenario: campaign VC histogram bounds [%g,%g) invalid", c.VCHistLo, c.VCHistHi)
+	}
+	bands := c.stabilityBands()
+	// Derive every run's spec, seed and group up front, deterministically.
 	runs := make([]RunResult, c.Runs)
 	for k := range runs {
 		seed := batch.Seed(c.Seed, k)
@@ -106,69 +194,159 @@ func (c Campaign) Run(ctx context.Context) (*Outcome, error) {
 			c.Vary(k, seed, &sp)
 		}
 		runs[k] = RunResult{Index: k, Seed: seed, Spec: sp}
-	}
-	results, err := batch.Map(ctx, runs, func(_ context.Context, r RunResult) (*sim.Result, error) {
-		res, err := r.Spec.Run(r.Seed)
-		if err != nil {
-			return nil, fmt.Errorf("campaign run %d (seed %d): %w", r.Index, r.Seed, err)
+		if c.Group != nil {
+			runs[k].Group = c.Group(k, seed, sp)
 		}
-		return res, nil
+	}
+	type runOutput struct {
+		res    *sim.Result
+		vcHist *stats.Histogram
+	}
+	results, err := batch.Map(ctx, runs, func(_ context.Context, r RunResult) (runOutput, error) {
+		cfg, err := r.Spec.Assemble(r.Seed)
+		if err != nil {
+			return runOutput{}, fmt.Errorf("campaign run %d (seed %d): %w", r.Index, r.Seed, err)
+		}
+		// Attach the per-run online observers: stability bands always
+		// (appended to any spec-level bands), the dwell histogram when
+		// configured. Fresh slices per run — specs fan out across
+		// workers and must not share mutable state.
+		cfg.StabilityBands = append(append([]float64(nil), cfg.StabilityBands...), bands...)
+		var out runOutput
+		if c.VCHistBins > 0 {
+			tis, err := sim.NewTimeInStateObserver(sim.ChanVC, c.VCHistLo, c.VCHistHi, c.VCHistBins)
+			if err != nil {
+				return runOutput{}, fmt.Errorf("campaign run %d: %w", r.Index, err)
+			}
+			out.vcHist = tis.Hist
+			cfg.Observers = append(append([]sim.Observer(nil), cfg.Observers...), tis)
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return runOutput{}, fmt.Errorf("campaign run %d (seed %d): %w", r.Index, r.Seed, err)
+		}
+		out.res = res
+		return out, nil
 	}, batch.Options{Workers: c.Workers, OnProgress: c.OnProgress})
 	if err != nil {
 		return nil, err
 	}
 	for k := range runs {
-		runs[k].Result = results[k]
+		runs[k].Result = results[k].res
+		runs[k].vcHist = results[k].vcHist
 	}
 	out := &Outcome{Results: runs}
-	if err := out.summarise(); err != nil {
+	if err := out.summarise(c); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
-// summarise computes the aggregate in run order.
-func (o *Outcome) summarise() error {
+// summaryAccum collects the per-run scalars of one aggregation bucket.
+type summaryAccum struct {
+	stability, instr, life, finalVC, minVC, deltaJ []float64
+	survived, brownouts                            int
+}
+
+func newSummaryAccum(capacity int) *summaryAccum {
+	return &summaryAccum{
+		stability: make([]float64, 0, capacity),
+		instr:     make([]float64, 0, capacity),
+		life:      make([]float64, 0, capacity),
+		finalVC:   make([]float64, 0, capacity),
+		minVC:     make([]float64, 0, capacity),
+		deltaJ:    make([]float64, 0, capacity),
+	}
+}
+
+func (a *summaryAccum) add(res *sim.Result) {
+	if !res.BrownedOut {
+		a.survived++
+	}
+	a.brownouts += res.Brownouts
+	a.stability = append(a.stability, res.StabilityWithin(summaryBand))
+	a.instr = append(a.instr, res.Instructions)
+	a.life = append(a.life, res.LifetimeSeconds)
+	a.finalVC = append(a.finalVC, res.FinalVC)
+	a.minVC = append(a.minVC, res.VCEnvelope.Min)
+	a.deltaJ = append(a.deltaJ, res.StorageEnergyEndJ-res.StorageEnergyStartJ)
+}
+
+func (a *summaryAccum) summary() (Summary, error) {
+	n := len(a.instr)
+	s := Summary{
+		Runs:           n,
+		SurvivalRate:   float64(a.survived) / float64(n),
+		TotalBrownouts: a.brownouts,
+	}
+	var err error
+	if s.Stability, err = stats.Summarize(a.stability); err != nil {
+		return s, err
+	}
+	if s.Instructions, err = stats.Summarize(a.instr); err != nil {
+		return s, err
+	}
+	if s.LifetimeSeconds, err = stats.Summarize(a.life); err != nil {
+		return s, err
+	}
+	if s.FinalVC, err = stats.Summarize(a.finalVC); err != nil {
+		return s, err
+	}
+	if s.MinVC, err = stats.Summarize(a.minVC); err != nil {
+		return s, err
+	}
+	if s.StorageEnergyDeltaJ, err = stats.Summarize(a.deltaJ); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+// summarise computes the aggregates strictly in run order, so the
+// Outcome is bit-identical at any worker count.
+func (o *Outcome) summarise(c Campaign) error {
 	n := len(o.Results)
 	if n == 0 {
 		return errors.New("scenario: empty campaign")
 	}
-	s := Summary{Runs: n}
-	stability := make([]float64, 0, n)
-	instr := make([]float64, 0, n)
-	life := make([]float64, 0, n)
-	finalVC := make([]float64, 0, n)
-	deltaJ := make([]float64, 0, n)
-	survived := 0
-	for _, r := range o.Results {
-		res := r.Result
-		if !res.BrownedOut {
-			survived++
+	overall := newSummaryAccum(n)
+	var groupOrder []string
+	groups := map[string]*summaryAccum{}
+	for i := range o.Results {
+		r := &o.Results[i]
+		overall.add(r.Result)
+		if c.Group != nil {
+			g, ok := groups[r.Group]
+			if !ok {
+				g = newSummaryAccum(0)
+				groups[r.Group] = g
+				groupOrder = append(groupOrder, r.Group)
+			}
+			g.add(r.Result)
 		}
-		s.TotalBrownouts += res.Brownouts
-		stability = append(stability, res.StabilityWithin(0.05))
-		instr = append(instr, res.Instructions)
-		life = append(life, res.LifetimeSeconds)
-		finalVC = append(finalVC, res.FinalVC)
-		deltaJ = append(deltaJ, res.StorageEnergyEndJ-res.StorageEnergyStartJ)
+		if r.vcHist != nil {
+			if o.VCHistogram == nil {
+				merged := *r.vcHist // copy bounds; reuse the first run's bins
+				merged.Bins = append([]float64(nil), r.vcHist.Bins...)
+				o.VCHistogram = &merged
+			} else if err := o.VCHistogram.Merge(r.vcHist); err != nil {
+				return err
+			}
+			// Merged; drop the per-run histogram so a 10k-run campaign
+			// does not keep O(runs × bins) dead weight alive through
+			// the Outcome.
+			r.vcHist = nil
+		}
 	}
-	s.SurvivalRate = float64(survived) / float64(n)
 	var err error
-	if s.Stability, err = stats.Summarize(stability); err != nil {
+	if o.Summary, err = overall.summary(); err != nil {
 		return err
 	}
-	if s.Instructions, err = stats.Summarize(instr); err != nil {
-		return err
+	for _, name := range groupOrder {
+		s, err := groups[name].summary()
+		if err != nil {
+			return err
+		}
+		o.Groups = append(o.Groups, GroupSummary{Name: name, Summary: s})
 	}
-	if s.LifetimeSeconds, err = stats.Summarize(life); err != nil {
-		return err
-	}
-	if s.FinalVC, err = stats.Summarize(finalVC); err != nil {
-		return err
-	}
-	if s.StorageEnergyDeltaJ, err = stats.Summarize(deltaJ); err != nil {
-		return err
-	}
-	o.Summary = s
 	return nil
 }

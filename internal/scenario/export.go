@@ -1,0 +1,155 @@
+package scenario
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"math"
+	"strconv"
+
+	"pnps/internal/stats"
+)
+
+// Campaign export: per-run scalar outcomes as CSV (one row per run, for
+// external plotting and post-hoc analysis) and the deterministic
+// aggregate — overall summary, per-group summaries, the merged
+// dwell-time voltage histogram — as JSON. Both work trace-free; neither
+// needs KeepSeries.
+
+// runsCSVHeader is the per-run CSV column set.
+var runsCSVHeader = []string{"run", "seed", "group", "survived", "brownouts",
+	"lifetime_s", "instructions", "final_vc_v", "min_vc_v", "stability_pct5",
+	"storage_denergy_j"}
+
+// WriteRunsCSV writes one CSV row of scalar outcomes per campaign run.
+// Group labels are user-supplied strings, so rows go through
+// encoding/csv (labels containing commas, quotes or newlines are
+// escaped, not allowed to shift the columns).
+func (o *Outcome) WriteRunsCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(runsCSVHeader); err != nil {
+		return err
+	}
+	g := func(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
+	for i := range o.Results {
+		r := &o.Results[i]
+		res := r.Result
+		if err := cw.Write([]string{
+			strconv.Itoa(r.Index),
+			strconv.FormatInt(r.Seed, 10),
+			r.Group,
+			strconv.FormatBool(!res.BrownedOut),
+			strconv.Itoa(res.Brownouts),
+			g(res.LifetimeSeconds),
+			g(res.Instructions),
+			g(res.FinalVC),
+			g(res.VCEnvelope.Min),
+			g(res.StabilityWithin(summaryBand)),
+			g(res.StorageEnergyEndJ - res.StorageEnergyStartJ),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// jsonSummary mirrors stats.Summary with JSON-safe values (JSON has no
+// NaN; missing measurements marshal as null).
+type jsonSummary struct {
+	N      int      `json:"n"`
+	Min    *float64 `json:"min"`
+	Max    *float64 `json:"max"`
+	Mean   *float64 `json:"mean"`
+	StdDev *float64 `json:"stddev"`
+	P5     *float64 `json:"p5"`
+	P25    *float64 `json:"p25"`
+	Median *float64 `json:"median"`
+	P75    *float64 `json:"p75"`
+	P95    *float64 `json:"p95"`
+}
+
+func jsonNum(x float64) *float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return nil
+	}
+	return &x
+}
+
+func toJSONSummary(s stats.Summary) jsonSummary {
+	return jsonSummary{
+		N: s.N, Min: jsonNum(s.Min), Max: jsonNum(s.Max),
+		Mean: jsonNum(s.Mean), StdDev: jsonNum(s.StdDev),
+		P5: jsonNum(s.P5), P25: jsonNum(s.P25), Median: jsonNum(s.Median),
+		P75: jsonNum(s.P75), P95: jsonNum(s.P95),
+	}
+}
+
+type jsonAggregate struct {
+	Runs                int         `json:"runs"`
+	SurvivalRate        float64     `json:"survival_rate"`
+	TotalBrownouts      int         `json:"total_brownouts"`
+	Stability           jsonSummary `json:"stability_pct5"`
+	Instructions        jsonSummary `json:"instructions"`
+	LifetimeSeconds     jsonSummary `json:"lifetime_s"`
+	FinalVC             jsonSummary `json:"final_vc_v"`
+	MinVC               jsonSummary `json:"min_vc_v"`
+	StorageEnergyDeltaJ jsonSummary `json:"storage_denergy_j"`
+}
+
+func toJSONAggregate(s Summary) jsonAggregate {
+	return jsonAggregate{
+		Runs: s.Runs, SurvivalRate: s.SurvivalRate, TotalBrownouts: s.TotalBrownouts,
+		Stability:           toJSONSummary(s.Stability),
+		Instructions:        toJSONSummary(s.Instructions),
+		LifetimeSeconds:     toJSONSummary(s.LifetimeSeconds),
+		FinalVC:             toJSONSummary(s.FinalVC),
+		MinVC:               toJSONSummary(s.MinVC),
+		StorageEnergyDeltaJ: toJSONSummary(s.StorageEnergyDeltaJ),
+	}
+}
+
+type jsonGroup struct {
+	Name string `json:"name"`
+	jsonAggregate
+}
+
+type jsonHistogram struct {
+	Lo       float64   `json:"lo"`
+	Hi       float64   `json:"hi"`
+	Bins     []float64 `json:"bins"`
+	Under    float64   `json:"underflow"`
+	Over     float64   `json:"overflow"`
+	Total    float64   `json:"total"`
+	MedianVC *float64  `json:"median,omitempty"`
+}
+
+type jsonOutcome struct {
+	Summary     jsonAggregate  `json:"summary"`
+	Groups      []jsonGroup    `json:"groups,omitempty"`
+	VCHistogram *jsonHistogram `json:"vc_histogram,omitempty"`
+}
+
+// WriteSummaryJSON writes the campaign aggregate — overall summary,
+// per-group summaries and the merged dwell-time voltage histogram when
+// present — as indented JSON. NaN statistics (impossible for campaign
+// outcomes, which always carry the online observers) marshal as null.
+func (o *Outcome) WriteSummaryJSON(w io.Writer) error {
+	doc := jsonOutcome{Summary: toJSONAggregate(o.Summary)}
+	for _, g := range o.Groups {
+		doc.Groups = append(doc.Groups, jsonGroup{Name: g.Name, jsonAggregate: toJSONAggregate(g.Summary)})
+	}
+	if h := o.VCHistogram; h != nil {
+		jh := &jsonHistogram{
+			Lo: h.Lo, Hi: h.Hi, Bins: h.Bins,
+			Under: h.Underflow(), Over: h.Overflow(), Total: h.Total(),
+		}
+		if med, err := h.Quantile(0.5); err == nil {
+			jh.MedianVC = jsonNum(med)
+		}
+		doc.VCHistogram = jh
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

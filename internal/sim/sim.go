@@ -90,6 +90,19 @@ type Config struct {
 	// RecordSeries enables time-series capture (default true via
 	// NewConfig-style literal use; set SkipSeries to disable).
 	SkipSeries bool
+
+	// Observers receive the engine's sample stream (one Sample per
+	// accepted integration step and discrete event). Online observers
+	// summarise a run without retaining traces; series capture itself
+	// runs as the first observer when SkipSeries is false.
+	Observers []Observer
+	// StabilityBands lists fractional half-widths (e.g. 0.05 for ±5%)
+	// for online within-band supply-stability accumulators, computed
+	// against TargetVolts without series capture. Result.StabilityWithin
+	// answers exactly for these bands (and any band, when series capture
+	// is on). Campaigns use this to report the paper's headline
+	// stability metric trace-free.
+	StabilityBands []float64
 }
 
 // Result carries everything the experiments need from one run.
@@ -135,19 +148,47 @@ type Result struct {
 	StorageEnergyStartJ, StorageEnergyEndJ float64
 	// TargetVolts echoes the stability target used.
 	TargetVolts float64
+	// VCEnvelope is the online min/max/time-mean of the supply voltage,
+	// accumulated on every run — available even when series capture is
+	// off, bit-identical to the VC series analyses when it is on.
+	VCEnvelope Envelope
+
+	// stability holds the online within-band accumulators configured via
+	// Config.StabilityBands.
+	stability []stabAccum
 }
 
 // StabilityWithin returns the fraction of the run the supply spent within
-// ±pct of the target voltage (the paper's headline 93.3% at 5%).
+// ±pct of the target voltage (the paper's headline 93.3% at 5%). With
+// series capture on it is computed from the VC trace for any pct;
+// trace-free runs answer from the online accumulators configured via
+// Config.StabilityBands. When neither is available — series capture was
+// skipped and no matching stability band ran — it returns NaN, so a
+// missing measurement can never be mistaken for 0% stability.
 func (r *Result) StabilityWithin(pct float64) float64 {
-	if r.VC == nil || r.VC.Len() == 0 {
-		return 0
+	if r.VC != nil && r.VC.Len() > 0 {
+		f, err := r.VC.FractionWithinPercent(r.TargetVolts, pct)
+		if err != nil {
+			return math.NaN()
+		}
+		return f
 	}
-	f, err := r.VC.FractionWithinPercent(r.TargetVolts, pct)
-	if err != nil {
-		return 0
+	for i := range r.stability {
+		if r.stability[i].pct == pct {
+			return r.stability[i].fraction()
+		}
 	}
-	return f
+	return math.NaN()
+}
+
+// StabilityBands returns the fractional band half-widths for which this
+// result can answer StabilityWithin without a VC trace.
+func (r *Result) StabilityBands() []float64 {
+	bands := make([]float64, len(r.stability))
+	for i := range r.stability {
+		bands[i] = r.stability[i].pct
+	}
+	return bands
 }
 
 // engine is the per-run mutable state.
@@ -188,6 +229,19 @@ type engine struct {
 	onStepFn                           func(t float64, y []float64)
 	evBrownout, evVlow, evVhigh, evRec ode.Event
 
+	// Observer pipeline state (see observer.go): the engine-owned
+	// reusable sample, the dispatch list (series observer first, then
+	// Config.Observers) and the always-on online accumulators. All fixed
+	// at run start so the per-step dispatch is allocation-free.
+	sample       Sample
+	observers    []Observer
+	env          Envelope // supply-voltage envelope, always accumulated
+	stab         []stabAccum
+	wantAvail    bool
+	supplyOnly   bool // every observer reads only T/VC/Alive
+	availStarted bool
+	lastAvailT   float64
+
 	res Result
 }
 
@@ -221,6 +275,12 @@ func Run(cfg Config) (*Result, error) {
 		e.fast = pv.NewSolver(e.pvSrc.Array)
 	}
 	e.res.TargetVolts = cfg.TargetVolts
+	if len(cfg.StabilityBands) > 0 {
+		e.stab = make([]stabAccum, len(cfg.StabilityBands))
+		for i, pct := range cfg.StabilityBands {
+			e.stab[i] = newStabAccum(cfg.TargetVolts, pct)
+		}
+	}
 	if !cfg.SkipSeries {
 		e.res.VC = trace.NewSeries("Vc", "V")
 		e.res.PowerConsumed = trace.NewSeries("Pconsumed", "W")
@@ -229,6 +289,17 @@ func Run(cfg Config) (*Result, error) {
 		e.res.LittleCores = trace.NewSeries("littleCores", "cores")
 		e.res.BigCores = trace.NewSeries("bigCores", "cores")
 		e.res.TotalCores = trace.NewSeries("totalCores", "cores")
+		e.observers = append(e.observers, seriesObserver{res: &e.res})
+	}
+	e.observers = append(e.observers, cfg.Observers...)
+	e.supplyOnly = true
+	for _, o := range e.observers {
+		if n, ok := o.(NeedsAvailablePower); ok && n.NeedsAvailablePower() {
+			e.wantAvail = true
+		}
+		if s, ok := o.(SupplyOnly); !ok || !s.SupplyOnly() {
+			e.supplyOnly = false
+		}
 	}
 
 	if e.ctrl != nil {
@@ -289,6 +360,8 @@ func Run(cfg Config) (*Result, error) {
 	e.res.LifetimeSeconds = e.aliveFor
 	e.res.FinalVC = e.vc
 	e.res.StorageEnergyEndJ = e.storage.Energy(e.y)
+	e.res.VCEnvelope = e.env
+	e.res.stability = e.stab
 	if e.ctrl != nil {
 		e.res.ControllerStats = e.ctrl.Stats()
 		e.res.Interrupts = e.hw.Interrupts()
@@ -346,6 +419,13 @@ func validate(cfg *Config) error {
 	}
 	if cfg.AvailSamplePeriod == 0 {
 		cfg.AvailSamplePeriod = 5
+	}
+	for _, pct := range cfg.StabilityBands {
+		// !(pct > 0) also rejects NaN, which pct <= 0 would let through
+		// as a dead accumulator no StabilityWithin call could ever match.
+		if !(pct > 0) || math.IsInf(pct, 0) {
+			return fmt.Errorf("sim: stability band half-width must be positive and finite, got %g", pct)
+		}
 	}
 	if cfg.TargetVolts == 0 {
 		if cfg.Array != nil {
@@ -416,49 +496,59 @@ func (e *engine) netCurrent(t, v float64) float64 {
 	return isrc - iload
 }
 
-// record samples every enabled series at (t, vc). Appends are deduplicated
-// per series: the integrator records the start of every continuation
-// segment and the discrete handlers re-record after acting, so each
-// segment boundary would otherwise appear twice with identical values —
-// biasing the sample-weighted Series.Mean() and bloating the traces. An
-// equal-time sample with a *changed* value (an OPP commit, a brownout
-// power drop) is still recorded, preserving zero-order-hold steps.
+// record publishes the sample at (t, vc) through the observer pipeline:
+// the always-on online accumulators (supply envelope, stability bands)
+// run first — they only need (t, vc) and cost a handful of flops — then,
+// when any observer is attached, the Sample is assembled once and
+// dispatched. The platform bookkeeping (power draw, committed OPP, the
+// periodic available-power estimate) is only paid when some observer
+// actually reads it: with no observers, or with only SupplyOnly
+// observers (the trace-free campaign case — voltage histograms,
+// envelopes), it is skipped entirely.
 func (e *engine) record(t, vc float64) {
-	if e.cfg.SkipSeries {
+	e.env.Observe(t, vc)
+	for i := range e.stab {
+		e.stab[i].observe(t, vc)
+	}
+	if len(e.observers) == 0 {
 		return
 	}
-	e.res.VC.AppendDedupe(t, vc)
-	pw := 0.0
-	if e.alive {
-		pw = e.platform.PowerDraw()
-		if e.hw != nil {
-			pw += e.hw.PowerWatts()
+	s := &e.sample
+	s.T, s.VC, s.Alive = t, vc, e.alive
+	if !e.supplyOnly {
+		pw := 0.0
+		if e.alive {
+			pw = e.platform.PowerDraw()
+			if e.hw != nil {
+				pw += e.hw.PowerWatts()
+			}
+		}
+		s.PowerW = pw
+		opp := e.platform.CommittedOPP()
+		s.FreqGHz = opp.Frequency() / 1e9
+		s.LittleCores, s.BigCores = opp.Config.Little, opp.Config.Big
+		s.HasAvail, s.AvailW = false, 0
+		if e.pvSrc != nil && e.wantAvail {
+			if !e.availStarted || t-e.lastAvailT >= e.cfg.AvailSamplePeriod {
+				e.sampleAvailable(t)
+			}
 		}
 	}
-	e.res.PowerConsumed.AppendDedupe(t, pw)
-	opp := e.platform.CommittedOPP()
-	e.res.FreqGHz.AppendDedupe(t, opp.Frequency()/1e9)
-	e.res.LittleCores.AppendDedupe(t, float64(opp.Config.Little))
-	e.res.BigCores.AppendDedupe(t, float64(opp.Config.Big))
-	e.res.TotalCores.AppendDedupe(t, float64(opp.Config.TotalCores()))
-
-	if e.pvSrc == nil {
-		return
-	}
-	if n := e.res.PowerAvailable.Len(); n == 0 {
-		e.appendAvailable(t)
-	} else if lt, _ := e.res.PowerAvailable.Last(); t-lt >= e.cfg.AvailSamplePeriod {
-		e.appendAvailable(t)
+	for _, o := range e.observers {
+		o.Observe(s)
 	}
 }
 
-// appendAvailable records the PV array's instantaneous MPP power — the
-// paper's "estimated available harvested power" (Fig. 14).
-func (e *engine) appendAvailable(t float64) {
+// sampleAvailable computes the PV array's instantaneous MPP power — the
+// paper's "estimated available harvested power" (Fig. 14) — into the
+// pending sample. The refresh clock only advances on a successful solve,
+// matching the historical retry-next-step behaviour.
+func (e *engine) sampleAvailable(t float64) {
 	g := e.pvSrc.Profile.Irradiance(t)
 	p, err := e.fast.AvailablePower(g)
 	if err == nil {
-		e.res.PowerAvailable.Append(t, p)
+		e.sample.HasAvail, e.sample.AvailW = true, p
+		e.availStarted, e.lastAvailT = true, t
 	}
 }
 

@@ -319,8 +319,11 @@ func TestSkipSeries(t *testing.T) {
 	if res.VC != nil {
 		t.Error("series recorded despite SkipSeries")
 	}
-	if res.StabilityWithin(0.05) != 0 {
-		t.Error("stability on missing series should be 0")
+	// No series and no stability band: the measurement does not exist,
+	// and the sentinel must be NaN — not a degenerate 0 that could be
+	// mistaken for "0% stable".
+	if s := res.StabilityWithin(0.05); !math.IsNaN(s) {
+		t.Errorf("stability without series or matching band should be NaN, got %g", s)
 	}
 }
 

@@ -58,9 +58,15 @@ type Platform struct {
 	Perf    *PerfModel
 	Latency *LatencyModel
 
-	cur         OPP // OPP whose power applies right now (head of queue aside)
-	committed   OPP // OPP at the end of the pending queue
+	cur       OPP // OPP whose power applies right now (head of queue aside)
+	committed OPP // OPP at the end of the pending queue
+	// queue[qhead:] is the pending-step queue. Completed steps advance
+	// qhead instead of re-slicing the front off, so the backing array is
+	// reused once drained: the discrete-event loop requests tens of OPP
+	// changes per simulated second and must not allocate for each.
 	queue       []atomicStep
+	qhead       int
+	planBuf     []stepPlan // reusable planSteps scratch
 	utilisation float64
 	alive       bool
 	now         float64
@@ -93,6 +99,8 @@ func NewPlatform(pm *PowerModel, pf *PerfModel, lm *LatencyModel) (*Platform, er
 		Latency:     lm,
 		cur:         MinOPP(),
 		committed:   MinOPP(),
+		queue:       make([]atomicStep, 0, 2*maxTransitionSteps),
+		planBuf:     make([]stepPlan, 0, maxTransitionSteps),
 		utilisation: 1,
 		alive:       true,
 	}, nil
@@ -113,7 +121,8 @@ func NewDefaultPlatform() *Platform {
 func (p *Platform) Reset(t float64, boot OPP) {
 	p.cur = boot.Clamp()
 	p.committed = p.cur
-	p.queue = nil
+	p.queue = p.queue[:0]
+	p.qhead = 0
 	p.alive = true
 	p.now = t
 	p.lastAccrue = t
@@ -132,15 +141,20 @@ func (p *Platform) Advance(now float64) error {
 	if now < p.now {
 		return fmt.Errorf("soc: Advance to t=%g before current t=%g", now, p.now)
 	}
-	for len(p.queue) > 0 && p.queue[0].end <= now {
-		st := p.queue[0]
-		p.queue = p.queue[1:]
+	for p.qhead < len(p.queue) && p.queue[p.qhead].end <= now {
+		st := p.queue[p.qhead]
+		p.qhead++
 		// No workload progress during the step itself.
 		p.busySeconds += st.end - st.start
 		p.cur = st.to
 		p.lastAccrue = st.end
 	}
-	if p.alive && (len(p.queue) == 0 || now < p.queue[0].start) {
+	if p.qhead == len(p.queue) {
+		// Drained: rewind so the backing array is reused.
+		p.queue = p.queue[:0]
+		p.qhead = 0
+	}
+	if p.alive && (p.qhead == len(p.queue) || now < p.queue[p.qhead].start) {
 		dt := now - p.lastAccrue
 		if dt > 0 {
 			ips := p.Perf.InstructionsPerSecond(p.cur) * p.utilisation
@@ -176,8 +190,12 @@ func (p *Platform) Alive() bool { return p.alive }
 // Kill powers the board off (brownout). Pending transitions are dropped.
 func (p *Platform) Kill() {
 	p.alive = false
-	p.queue = nil
+	p.queue = p.queue[:0]
+	p.qhead = 0
 }
+
+// pending returns the live pending-step window of the queue.
+func (p *Platform) pending() []atomicStep { return p.queue[p.qhead:] }
 
 // EffectiveOPP returns the OPP whose performance applies right now.
 func (p *Platform) EffectiveOPP() OPP { return p.cur }
@@ -188,25 +206,28 @@ func (p *Platform) CommittedOPP() OPP { return p.committed }
 
 // InTransition reports whether an OPP change is in flight at time p.Now().
 func (p *Platform) InTransition() bool {
-	return len(p.queue) > 0 && p.now >= p.queue[0].start
+	q := p.pending()
+	return len(q) > 0 && p.now >= q[0].start
 }
 
 // TransitionEnd returns the completion time of the last queued step and
 // ok=false when the queue is empty.
 func (p *Platform) TransitionEnd() (float64, bool) {
-	if len(p.queue) == 0 {
+	q := p.pending()
+	if len(q) == 0 {
 		return 0, false
 	}
-	return p.queue[len(p.queue)-1].end, true
+	return q[len(q)-1].end, true
 }
 
 // NextCompletion returns the completion time of the step currently at the
 // head of the queue, and ok=false when idle.
 func (p *Platform) NextCompletion() (float64, bool) {
-	if len(p.queue) == 0 {
+	q := p.pending()
+	if len(q) == 0 {
 		return 0, false
 	}
-	return p.queue[0].end, true
+	return q[0].end, true
 }
 
 // PowerDraw returns board power in watts at the current instant. During a
@@ -217,8 +238,8 @@ func (p *Platform) PowerDraw() float64 {
 	if !p.alive {
 		return 0
 	}
-	if len(p.queue) > 0 && p.now >= p.queue[0].start {
-		st := p.queue[0]
+	if q := p.pending(); len(q) > 0 && p.now >= q[0].start {
+		st := q[0]
 		pf := p.Power.Power(st.from, p.utilisation)
 		pt := p.Power.Power(st.to, p.utilisation)
 		if pt > pf {
@@ -283,10 +304,21 @@ func (p *Platform) RequestOPP(target OPP, now float64, order TransitionOrder) (c
 	if end, ok := p.TransitionEnd(); ok && end > start {
 		start = end
 	}
-	steps, err := planSteps(p.committed, target, order)
+	// Compact the consumed prefix before queueing more: without this, a
+	// sustained backlog (requests always landing while a transition is
+	// still pending) would keep qhead from ever rewinding and the
+	// backing array would grow with every request ever made instead of
+	// with the pending depth. The copy is O(pending), alloc-free.
+	if p.qhead > 0 {
+		n := copy(p.queue, p.queue[p.qhead:])
+		p.queue = p.queue[:n]
+		p.qhead = 0
+	}
+	steps, err := planSteps(p.planBuf[:0], p.committed, target, order)
 	if err != nil {
 		return now, err
 	}
+	p.planBuf = steps[:0] // keep any capacity growth for the next request
 	t := start
 	for _, s := range steps {
 		var lat float64
@@ -313,12 +345,18 @@ type stepPlan struct {
 	isHotplug bool
 }
 
+// maxTransitionSteps bounds the single-unit steps of any valid
+// transition: the full frequency ladder plus all eight cores.
+const maxTransitionSteps = NumFrequencyLevels - 1 + 8
+
 // planSteps decomposes from->to into single-unit steps in the requested
-// order. Scaling down, CoreFirst sheds cores (big before LITTLE) before
+// order, appending them to dst (pass a reused buffer sliced to length
+// zero to plan without allocating; at most maxTransitionSteps are added).
+// Scaling down, CoreFirst sheds cores (big before LITTLE) before
 // dropping frequency; FreqFirst is the reverse. Scaling up mirrors:
 // CoreFirst raises frequency before adding cores, FreqFirst adds cores
 // (LITTLE before big) first.
-func planSteps(from, to OPP, order TransitionOrder) ([]stepPlan, error) {
+func planSteps(dst []stepPlan, from, to OPP, order TransitionOrder) ([]stepPlan, error) {
 	if !from.Valid() || !to.Valid() {
 		return nil, fmt.Errorf("soc: invalid OPP in transition %v -> %v", from, to)
 	}
@@ -326,10 +364,9 @@ func planSteps(from, to OPP, order TransitionOrder) ([]stepPlan, error) {
 	dl := to.Config.Little - from.Config.Little
 	db := to.Config.Big - from.Config.Big
 
-	// Emit the single-unit moves straight into the exactly-sized result —
-	// this runs once per threshold interrupt, so it must not build
-	// intermediate move slices.
-	out := make([]stepPlan, 0, abs(df)+abs(dl)+abs(db))
+	// Emit the single-unit moves straight into dst — this runs once per
+	// threshold interrupt, so it must not build intermediate move slices.
+	out := dst
 	cur := from
 	var stepErr error
 	emit := func(dFreq, dLittle, dBig int) {

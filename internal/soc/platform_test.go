@@ -229,7 +229,7 @@ func TestPlanStepsProperties(t *testing.T) {
 		from := OPP{FreqIdx: rng.Intn(8), Config: CoreConfig{Little: 1 + rng.Intn(4), Big: rng.Intn(5)}}
 		to := OPP{FreqIdx: rng.Intn(8), Config: CoreConfig{Little: 1 + rng.Intn(4), Big: rng.Intn(5)}}
 		order := TransitionOrder(rng.Intn(2))
-		steps, err := planSteps(from, to, order)
+		steps, err := planSteps(nil, from, to, order)
 		if err != nil {
 			t.Fatalf("planSteps(%v, %v, %v): %v", from, to, order, err)
 		}
@@ -260,7 +260,7 @@ func TestPlanStepsProperties(t *testing.T) {
 }
 
 func TestCoreFirstShedsBigFirst(t *testing.T) {
-	steps, err := planSteps(MaxOPP(), MinOPP(), CoreFirst)
+	steps, err := planSteps(nil, MaxOPP(), MinOPP(), CoreFirst)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +276,7 @@ func TestCoreFirstShedsBigFirst(t *testing.T) {
 }
 
 func TestFreqFirstDropsFrequencyFirst(t *testing.T) {
-	steps, err := planSteps(MaxOPP(), MinOPP(), FreqFirst)
+	steps, err := planSteps(nil, MaxOPP(), MinOPP(), FreqFirst)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,5 +333,43 @@ func TestTransitionOrderString(t *testing.T) {
 	}
 	if TransitionOrder(9).String() == "" {
 		t.Error("unknown order should still render")
+	}
+}
+
+func TestQueueCompactionUnderBacklog(t *testing.T) {
+	// Requests that always land while a transition is still pending must
+	// not grow the queue's backing array with the total number of
+	// requests ever made: the consumed prefix is compacted away on each
+	// request. Semantics are pinned too — steps still complete in order.
+	p := NewDefaultPlatform()
+	p.Reset(0, MinOPP())
+	now := 0.0
+	for i := 0; i < 1000; i++ {
+		target := OPP{FreqIdx: 1, Config: CoreConfig{Little: 1}}
+		if p.CommittedOPP() == target {
+			target = MinOPP()
+		}
+		end, err := p.RequestOPP(target, now, CoreFirst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Advance only halfway to the completion: the queue never fully
+		// drains, so the full-drain rewind alone would never fire.
+		now += (end - now) / 2
+		if err := p.Advance(now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c := cap(p.queue); c > 64 {
+		t.Errorf("queue backing array grew to %d entries under backlog; compaction failed", c)
+	}
+	// Let everything finish and confirm the committed point is reached.
+	if end, ok := p.TransitionEnd(); ok {
+		if err := p.Advance(end); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.EffectiveOPP() != p.CommittedOPP() {
+		t.Error("queue did not settle to the committed OPP")
 	}
 }

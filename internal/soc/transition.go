@@ -44,7 +44,7 @@ func AnalyzeTransition(pm *PowerModel, lm *LatencyModel, from, to OPP, order Tra
 	if droopVolts <= 0 {
 		return TransitionReport{}, fmt.Errorf("soc: allowed droop must be positive, got %g", droopVolts)
 	}
-	steps, err := planSteps(from, to, order)
+	steps, err := planSteps(nil, from, to, order)
 	if err != nil {
 		return TransitionReport{}, err
 	}

@@ -14,7 +14,9 @@ import (
 // ErrEmpty is returned when a computation needs at least one value.
 var ErrEmpty = errors.New("stats: empty input")
 
-// Summary holds the usual descriptive statistics of a sample.
+// Summary holds the usual descriptive statistics of a sample. The
+// Median and the P5/P25/P75/P95 percentiles together give the quantile
+// bands campaign aggregation reports.
 type Summary struct {
 	N        int
 	Min, Max float64
@@ -22,6 +24,7 @@ type Summary struct {
 	StdDev   float64 // population standard deviation
 	Median   float64
 	P5, P95  float64
+	P25, P75 float64 // interquartile band
 }
 
 // Summarize computes descriptive statistics of xs.
@@ -52,6 +55,8 @@ func Summarize(xs []float64) (Summary, error) {
 	s.Median = Quantile(sorted, 0.5)
 	s.P5 = Quantile(sorted, 0.05)
 	s.P95 = Quantile(sorted, 0.95)
+	s.P25 = Quantile(sorted, 0.25)
+	s.P75 = Quantile(sorted, 0.75)
 	return s, nil
 }
 
@@ -121,6 +126,24 @@ func (h *Histogram) AddWeighted(x, w float64) {
 		i = len(h.Bins) - 1
 	}
 	h.Bins[i] += w
+}
+
+// Merge folds the other histogram's accumulated weights into h,
+// including under/overflow. The histograms must share bounds and bin
+// count; per-run observer histograms merged in a fixed order produce a
+// bit-identical aggregate at any worker count.
+func (h *Histogram) Merge(other *Histogram) error {
+	if other.Lo != h.Lo || other.Hi != h.Hi || len(other.Bins) != len(h.Bins) {
+		return fmt.Errorf("stats: merge of mismatched histograms [%g,%g)x%d vs [%g,%g)x%d",
+			h.Lo, h.Hi, len(h.Bins), other.Lo, other.Hi, len(other.Bins))
+	}
+	for i, w := range other.Bins {
+		h.Bins[i] += w
+	}
+	h.under += other.under
+	h.over += other.over
+	h.total += other.total
+	return nil
 }
 
 // Total returns the accumulated weight including under/overflow.

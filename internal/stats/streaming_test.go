@@ -1,0 +1,257 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// quantileInputs are the cross-validation corpora: random, sorted,
+// reverse-sorted, constant and bimodal streams, per the adversarial
+// cases the P² literature flags.
+func quantileInputs(n int) map[string][]float64 {
+	rng := rand.New(rand.NewSource(7))
+	random := make([]float64, n)
+	for i := range random {
+		random[i] = rng.NormFloat64()*3 + 10
+	}
+	sorted := append([]float64(nil), random...)
+	sort.Float64s(sorted)
+	reversed := make([]float64, n)
+	for i := range reversed {
+		reversed[i] = sorted[n-1-i]
+	}
+	constant := make([]float64, n)
+	for i := range constant {
+		constant[i] = 4.7
+	}
+	bimodal := make([]float64, n)
+	for i := range bimodal {
+		if rng.Intn(2) == 0 {
+			bimodal[i] = rng.NormFloat64()*0.5 - 20
+		} else {
+			bimodal[i] = rng.NormFloat64()*0.5 + 20
+		}
+	}
+	uniform := make([]float64, n)
+	for i := range uniform {
+		uniform[i] = rng.Float64() * 100
+	}
+	return map[string][]float64{
+		"random": random, "sorted": sorted, "reversed": reversed,
+		"constant": constant, "bimodal": bimodal, "uniform": uniform,
+	}
+}
+
+func exactQuantile(xs []float64, q float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return Quantile(s, q)
+}
+
+func TestP2AgainstExactQuantile(t *testing.T) {
+	// Tolerances are fractions of the data span, scaled to the corpus:
+	// tight for randomly ordered streams (the regime P² was designed
+	// for), loose for monotone streams — where the markers can only chase
+	// the drifting distribution — and for the bimodal stream, whose
+	// central quantiles sit in the sparsely populated inter-mode gap.
+	// These corpora pin the documented estimate quality; consumers that
+	// need bin-bounded error on arbitrary orderings should use
+	// Histogram.Quantile instead (see the P² doc comment).
+	tolerances := map[string]float64{
+		"random": 0.02, "uniform": 0.02, "constant": 0,
+		"sorted": 0.20, "reversed": 0.20, "bimodal": 0.20,
+	}
+	for name, xs := range quantileInputs(5000) {
+		lo, hi := exactQuantile(xs, 0), exactQuantile(xs, 1)
+		span := hi - lo
+		for _, q := range []float64{0.05, 0.25, 0.5, 0.75, 0.95} {
+			p := NewP2(q)
+			for _, x := range xs {
+				p.Add(x)
+			}
+			got, want := p.Quantile(), exactQuantile(xs, q)
+			if got < lo || got > hi {
+				t.Errorf("%s q=%g: estimate %.4f outside sample range [%.4f, %.4f]", name, q, got, lo, hi)
+			}
+			if tol := tolerances[name] * span; math.Abs(got-want) > tol {
+				t.Errorf("%s q=%g: P2 %.4f vs exact %.4f (tol %.4f)", name, q, got, want, tol)
+			}
+		}
+	}
+}
+
+func TestP2JainChlamtacWorkedExample(t *testing.T) {
+	// The worked median example from Jain & Chlamtac (1985): the paper
+	// reports 4.44 after these 20 observations. Pins the marker
+	// arithmetic (parabolic + linear adjustment) against the source.
+	xs := []float64{0.02, 0.15, 0.74, 3.39, 0.83, 22.37, 10.15, 15.43, 38.62, 15.92,
+		34.60, 10.28, 1.47, 0.40, 0.05, 11.39, 0.27, 0.42, 0.09, 11.37}
+	p := NewP2(0.5)
+	for _, x := range xs {
+		p.Add(x)
+	}
+	if got := p.Quantile(); math.Abs(got-4.44) > 0.005 {
+		t.Errorf("median estimate %.4f, paper reports 4.44", got)
+	}
+}
+
+func TestP2SmallStreamsExact(t *testing.T) {
+	// Below five observations the estimate must be the exact sample
+	// quantile, bit for bit.
+	xs := []float64{3, -1, 7, 2}
+	for n := 1; n <= len(xs); n++ {
+		for _, q := range []float64{0.1, 0.5, 0.9} {
+			p := NewP2(q)
+			for _, x := range xs[:n] {
+				p.Add(x)
+			}
+			if got, want := p.Quantile(), exactQuantile(xs[:n], q); got != want {
+				t.Errorf("n=%d q=%g: got %g, want exact %g", n, q, got, want)
+			}
+		}
+	}
+	if !math.IsNaN(NewP2(0.5).Quantile()) {
+		t.Error("empty P2 should estimate NaN")
+	}
+}
+
+func TestP2Deterministic(t *testing.T) {
+	// Same stream twice → bit-identical estimate (no hidden state).
+	xs := quantileInputs(2000)["random"]
+	a, b := NewP2(0.9), NewP2(0.9)
+	for _, x := range xs {
+		a.Add(x)
+		b.Add(x)
+	}
+	if a.Quantile() != b.Quantile() {
+		t.Error("P2 not deterministic")
+	}
+	if a.N() != len(xs) || a.Q() != 0.9 {
+		t.Errorf("accessors wrong: N=%d Q=%g", a.N(), a.Q())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	for name, xs := range quantileInputs(5000) {
+		lo, hi := exactQuantile(xs, 0), exactQuantile(xs, 1)
+		if hi == lo {
+			hi = lo + 1 // constant stream: any spanning bounds work
+		}
+		h, err := NewHistogram(lo, hi+1e-9, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, x := range xs {
+			h.Add(x)
+		}
+		width := (h.Hi - h.Lo) / float64(len(h.Bins))
+		for _, q := range []float64{0.05, 0.5, 0.95} {
+			got, err := h.Quantile(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := exactQuantile(xs, q)
+			// The histogram resolves quantiles to within ~a bin width.
+			if math.Abs(got-want) > 2*width {
+				t.Errorf("%s q=%g: histogram %.4f vs exact %.4f (bin %.4f)", name, q, got, want, width)
+			}
+		}
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	h, _ := NewHistogram(0, 10, 10)
+	if _, err := h.Quantile(0.5); err == nil {
+		t.Error("empty histogram quantile should error")
+	}
+	h.Add(-5) // underflow
+	h.Add(15) // overflow
+	q0, _ := h.Quantile(0.25)
+	q1, _ := h.Quantile(0.95)
+	if q0 != h.Lo || q1 != h.Hi {
+		t.Errorf("under/overflow mass should clamp to bounds, got %g and %g", q0, q1)
+	}
+	// With no underflow, q=0 must report where the data actually is —
+	// the lower edge of the first occupied bin — not fabricate Lo.
+	h2, _ := NewHistogram(0, 10, 10)
+	h2.Add(5.3)
+	if q, _ := h2.Quantile(0); q != 5 {
+		t.Errorf("q=0 of mass in [5,6) bin should be 5, got %g", q)
+	}
+}
+
+func TestOnlineMatchesSummarize(t *testing.T) {
+	for name, xs := range quantileInputs(3000) {
+		var o Online
+		for _, x := range xs {
+			o.Add(x)
+		}
+		s, err := Summarize(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.N() != s.N || o.Min() != s.Min || o.Max() != s.Max {
+			t.Errorf("%s: online extrema/count diverge", name)
+		}
+		if math.Abs(o.Mean()-s.Mean) > 1e-9*math.Max(1, math.Abs(s.Mean)) {
+			t.Errorf("%s: mean %.12f vs %.12f", name, o.Mean(), s.Mean)
+		}
+		if math.Abs(o.StdDev()-s.StdDev) > 1e-6*math.Max(1, s.StdDev) {
+			t.Errorf("%s: stddev %.12f vs %.12f", name, o.StdDev(), s.StdDev)
+		}
+	}
+}
+
+func TestOnlineMergeEquivalent(t *testing.T) {
+	xs := quantileInputs(4000)["random"]
+	var whole Online
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	// Split into uneven shards, accumulate independently, merge in order.
+	var merged Online
+	for _, cut := range [][2]int{{0, 17}, {17, 1000}, {1000, 1001}, {1001, 4000}} {
+		var shard Online
+		for _, x := range xs[cut[0]:cut[1]] {
+			shard.Add(x)
+		}
+		merged.Merge(shard)
+	}
+	if merged.N() != whole.N() || merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Error("merge diverges on count/extrema")
+	}
+	if math.Abs(merged.Mean()-whole.Mean()) > 1e-9 ||
+		math.Abs(merged.Variance()-whole.Variance()) > 1e-6 {
+		t.Errorf("merge diverges: mean %.12f vs %.12f, var %.9f vs %.9f",
+			merged.Mean(), whole.Mean(), merged.Variance(), whole.Variance())
+	}
+	// Merging an empty accumulator is a no-op; merging into empty copies.
+	before := merged
+	merged.Merge(Online{})
+	if merged != before {
+		t.Error("merging empty changed the accumulator")
+	}
+	var fresh Online
+	fresh.Merge(whole)
+	if fresh != whole {
+		t.Error("merging into empty should copy")
+	}
+	if !math.IsNaN((&Online{}).Mean()) || !math.IsNaN((&Online{}).StdDev()) {
+		t.Error("empty Online should report NaN moments")
+	}
+}
+
+func TestSummaryQuartiles(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.P25 != 2 || s.P75 != 4 {
+		t.Errorf("quartiles of 1..5: P25=%g P75=%g, want 2 and 4", s.P25, s.P75)
+	}
+	if s.P25 > s.Median || s.Median > s.P75 {
+		t.Error("quantile ordering broken")
+	}
+}

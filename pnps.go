@@ -78,6 +78,36 @@ type (
 	Governor = governor.Governor
 )
 
+// Observer types: the streaming observer pipeline. Observers receive
+// one Sample per accepted integration step and discrete event and
+// summarise a run online, so trace-free runs (SimConfig.SkipSeries)
+// keep O(1) memory; series capture is itself just the engine's first
+// observer.
+type (
+	// Observer receives the engine's sample stream.
+	Observer = sim.Observer
+	// Sample is one point of the observation stream.
+	Sample = sim.Sample
+	// Channel selects which Sample signal a generic observer watches.
+	Channel = sim.Channel
+	// Envelope is an online min/max/time-mean accumulator.
+	Envelope = sim.Envelope
+	// EnvelopeObserver accumulates an Envelope over one channel.
+	EnvelopeObserver = sim.EnvelopeObserver
+	// TimeInStateObserver accumulates a dwell-time histogram of one
+	// channel (the trace-free Fig. 13 analysis).
+	TimeInStateObserver = sim.TimeInStateObserver
+)
+
+// Observable channels.
+const (
+	ChanVC         = sim.ChanVC
+	ChanPower      = sim.ChanPower
+	ChanFreqGHz    = sim.ChanFreqGHz
+	ChanTotalCores = sim.ChanTotalCores
+	ChanAvailPower = sim.ChanAvailPower
+)
+
 // Storage types: pluggable supply-node buffers for the live ODE.
 type (
 	// Storage models the supply-node energy buffer (terminal voltage,
@@ -117,6 +147,10 @@ type (
 	CampaignSummary = scenario.Summary
 	// CampaignVariant perturbs the spec for one campaign run.
 	CampaignVariant = scenario.Variant
+	// CampaignGroup labels runs for per-variant grouped aggregation.
+	CampaignGroup = scenario.GroupFunc
+	// CampaignGroupSummary is one group's aggregate.
+	CampaignGroupSummary = scenario.GroupSummary
 )
 
 // RegisterScenario adds a named scenario to the shared registry.
