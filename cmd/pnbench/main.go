@@ -46,15 +46,21 @@ type Result struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Report is the emitted JSON document.
+// Report is the emitted JSON document. Go version, GOMAXPROCS and the
+// CPU count pin the execution environment, so perf-trajectory entries
+// from different machines (or container CPU quotas) are comparable —
+// an ns/op regression on 4 CPUs is not a regression against a 32-CPU
+// baseline.
 type Report struct {
-	GoVersion string   `json:"go_version"`
-	GOOS      string   `json:"goos"`
-	GOARCH    string   `json:"goarch"`
-	Timestamp string   `json:"timestamp"`
-	Bench     string   `json:"bench_regex"`
-	Benchtime string   `json:"benchtime"`
-	Results   []Result `json:"results"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu"`
+	Timestamp  string   `json:"timestamp"`
+	Bench      string   `json:"bench_regex"`
+	Benchtime  string   `json:"benchtime"`
+	Results    []Result `json:"results"`
 }
 
 func main() {
@@ -82,13 +88,15 @@ func main() {
 	}
 
 	rep := Report{
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		Timestamp: time.Now().UTC().Format(time.RFC3339),
-		Bench:     *bench,
-		Benchtime: *benchtime,
-		Results:   parseBenchOutput(string(raw)),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Bench:      *bench,
+		Benchtime:  *benchtime,
+		Results:    parseBenchOutput(string(raw)),
 	}
 	if len(rep.Results) == 0 {
 		fmt.Fprintln(os.Stderr, "pnbench: no benchmark results parsed — check the -bench regex")

@@ -42,6 +42,7 @@ import (
 	"pnps/internal/experiments"
 	"pnps/internal/scenario"
 	"pnps/internal/stats"
+	"pnps/internal/study"
 	"pnps/internal/trace"
 )
 
@@ -182,7 +183,7 @@ func runScenario(name string, seed int64, mc, workers int, csvDir, jsonOut strin
 		return nil
 	}
 
-	out, err := scenario.Campaign{
+	out, err := study.Campaign{
 		Base: spec, Runs: mc, Seed: seed, Workers: workers,
 		// Campaign-level supply distribution: trace-free dwell-time
 		// histogram. The bounds span everything the node can physically
@@ -245,7 +246,7 @@ func runScenario(name string, seed int64, mc, workers int, csvDir, jsonOut strin
 }
 
 // writeCampaignCSV exports the per-run scalar outcomes of a campaign.
-func writeCampaignCSV(dir, id string, out *scenario.Outcome) error {
+func writeCampaignCSV(dir, id string, out *study.Outcome) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}

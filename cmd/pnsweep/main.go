@@ -15,6 +15,13 @@
 // -scenario selects the registered stress scenario each combination is
 // scored on (default "stress-clouds"; -list shows the registry), so the
 // same grid search runs against supercap or hybrid storage variants.
+//
+// The sweep runs on the study engine (internal/study): the grid is a
+// one-axis parameter matrix scored trace-free on a shared-seed
+// evaluation scenario, with output pinned bit-identical to the
+// historical implementation. For multi-axis matrices (storage ×
+// control × workload), sharded execution and resumable checkpoints,
+// see the companion command pnstudy.
 package main
 
 import (

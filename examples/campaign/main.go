@@ -1,13 +1,18 @@
-// Campaign: a Monte-Carlo storage study — the paper's headline claim
-// ("power neutrality makes farad-scale buffers unnecessary") evaluated
-// across many weather realisations instead of one. One grouped campaign
-// runs the same stress scenario on the ideal 47 mF capacitor, a real
-// supercap bank (ESR + leakage in the live ODE) and a hybrid
-// diode-backed buffer, fanned over all CPU cores with bit-reproducible,
-// trace-free aggregation: no run retains a time series — within-band
-// stability, supply envelopes and the dwell-time voltage histogram are
-// accumulated online, so the campaign's memory footprint is independent
-// of scenario length.
+// Campaign: a declarative weather × storage × control study — the
+// paper's headline claim ("power neutrality makes farad-scale buffers
+// unnecessary") evaluated as a full cross-product instead of one run.
+// One Study crosses three weather regimes over three storage families
+// and two control schemes; every cell runs the same Monte-Carlo
+// repetitions with common random numbers (SeedPerRep), so all eighteen
+// cells face the *same* skies and every comparison is paired, not
+// confounded by weather luck.
+//
+// The study executes trace-free over all CPU cores with bit-identical
+// aggregation at any worker count, and reports per-cell summaries plus
+// per-axis marginals — "how does each storage do, averaged over
+// weather and control" — with dwell-time voltage quantiles from the
+// merged histograms. The same matrix shards across processes with
+// Study.RunShard / checkpoint merge; see `pnstudy -h`.
 //
 //	go run ./examples/campaign
 package main
@@ -26,72 +31,98 @@ func main() {
 	if !ok {
 		log.Fatal("stress-clouds scenario missing")
 	}
-	const runsPerStorage = 16
+	base.Duration = 120
 
-	storages := []struct {
-		name string
-		st   pnps.Storage
-	}{
-		{"ideal 47 mF", pnps.IdealCapacitor{Farads: 47e-3}},
-		{"supercap 47 mF (ESR+leak)", pnps.NewSupercapBank(pnps.SupercapParams{
-			Farads: 47e-3, ESROhms: 0.05, LeakOhms: 5000, VMax: 5.7,
-		})},
-		{"hybrid 10 mF + 1 F reservoir", pnps.HybridBuffer{
-			NodeFarads: 10e-3, ReservoirFarads: 1,
-			DiodeDropVolts: 0.35, DiodeOhms: 0.2,
-			ChargeOhms: 10, LeakOhms: 20000,
-		}},
+	day := pnps.SolarDayProfile()
+	st := pnps.Study{
+		Name: "weather-storage-control",
+		Base: base,
+		Axes: []pnps.StudyAxis{
+			pnps.NewStudyAxis("weather",
+				pnps.StudyIrradiance("full-sun", pnps.ConstantIrradiance(1000)),
+				// Seed-dependent levels get fresh realisations per rep.
+				pnps.StudyProfile("partial-clouds", func(seed int64, span float64) pnps.IrradianceProfile {
+					return pnps.WithPartialClouds(pnps.ConstantIrradiance(900), span, seed)
+				}),
+				pnps.StudyProfile("morning-ramp", func(seed int64, span float64) pnps.IrradianceProfile {
+					// The 7:00–9:00 shoulder of a clear day, clouds overlaid.
+					return pnps.WithPartialClouds(offset{day, 7 * 3600}, span, seed)
+				}),
+			),
+			pnps.NewStudyAxis("storage",
+				pnps.StudyStorage("ideal 47mF", pnps.IdealCapacitor{Farads: 47e-3}),
+				pnps.StudyStorage("supercap 47mF", pnps.NewSupercapBank(pnps.SupercapParams{
+					Farads: 47e-3, ESROhms: 0.05, LeakOhms: 5000, VMax: 5.7,
+				})),
+				pnps.StudyStorage("hybrid 10mF+1F", pnps.HybridBuffer{
+					NodeFarads: 10e-3, ReservoirFarads: 1,
+					DiodeDropVolts: 0.35, DiodeOhms: 0.2,
+					ChargeOhms: 10, LeakOhms: 20000,
+				}),
+			),
+			pnps.NewStudyAxis("control",
+				pnps.StudyPowerNeutral(),
+				pnps.StudyGovernor("ondemand"),
+			),
+		},
+		Reps: 4, Seed: 2017,
+		SeedMode:   pnps.SeedPerRep, // paired: every cell sees the same 4 skies
+		VCHistBins: 64, VCHistLo: 4.0, VCHistHi: 6.0,
 	}
 
-	// One campaign, grouped by storage: run k gets storage k%3 and the
-	// weather realisation k/3 — common random numbers, so all three
-	// storages face the *same* 16 skies and the comparison is paired,
-	// not confounded by weather luck. The per-group summaries come back
-	// deterministically (bit-identical at any worker count).
-	out, err := pnps.Campaign{
-		Base: base, Runs: runsPerStorage * len(storages), Seed: 2017,
-		Vary: func(k int, _ int64, s *pnps.Scenario) {
-			s.Storage = storages[k%len(storages)].st
-			realisation := k / len(storages)
-			orig := s.Profile
-			s.Profile = func(_ int64, span float64) pnps.IrradianceProfile {
-				return orig(pnps.BatchSeed(2017, realisation), span)
-			}
-		},
-		Group: func(k int, _ int64, _ pnps.Scenario) string {
-			return storages[k%len(storages)].name
-		},
-		VCHistBins: 64, VCHistLo: 4.0, VCHistHi: 6.0,
-	}.Run(context.Background())
+	out, err := st.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("Monte-Carlo storage study: %d weather realisations per storage, trace-free\n\n",
-		runsPerStorage)
-	fmt.Printf("%-30s %-9s %-10s %-22s %s\n",
-		"storage", "survival", "brownouts", "within ±5% (P25..P75)", "mean instr")
-	for _, g := range out.Groups {
-		s := g.Summary
-		fmt.Printf("%-30s %6.1f%%  %-10d %5.1f%% (%4.1f..%4.1f%%)     %7.1f G\n",
-			g.Name, s.SurvivalRate*100, s.TotalBrownouts,
+	fmt.Printf("weather × storage × control study: %d cells × %d paired skies = %d runs, trace-free\n\n",
+		len(out.Cells), st.Reps, out.Summary.Runs)
+	width := 0
+	for _, c := range out.Cells {
+		if len(c.Cell.Key) > width {
+			width = len(c.Cell.Key)
+		}
+	}
+	fmt.Printf("%-*s %-9s %-22s %s\n",
+		width, "cell", "survival", "within ±5% (P25..P75)", "mean instr")
+	for _, c := range out.Cells {
+		s := c.Summary
+		fmt.Printf("%-*s %6.1f%%  %5.1f%% (%4.1f..%4.1f%%)     %7.2f G\n",
+			width, c.Cell.Key, s.SurvivalRate*100,
 			s.Stability.Mean*100, s.Stability.P25*100, s.Stability.P75*100,
 			s.Instructions.Mean/1e9)
 	}
-	if med, err := out.VCHistogram.Quantile(0.5); err == nil {
-		fmt.Printf("\nsupply dwell median across all %d runs: %.3f V (%.0f run-seconds observed)\n",
-			out.Summary.Runs, med, out.VCHistogram.Total())
+
+	fmt.Println("\nmarginals — each level aggregated across the other two axes:")
+	for _, m := range out.Marginals {
+		s := m.Summary
+		fmt.Printf("  %-8s %-16s survival %5.1f%%  within ±5%% %5.1f%%  min Vc %.2f V\n",
+			m.Axis, m.Level, s.SurvivalRate*100, s.Stability.Mean*100, s.MinVC.Mean)
+	}
+	if out.DwellVC != nil {
+		fmt.Printf("\nsupply dwell across all %d runs: median %.3f V (P25..P75 %.3f..%.3f V)\n",
+			out.Summary.Runs, out.DwellVC.Median, out.DwellVC.P25, out.DwellVC.P75)
 	}
 
-	fmt.Println("\nSingle-seed evaluation overfits the weather; the campaign shows the")
-	fmt.Println("distribution — and the diode-backed reservoir riding through occlusions")
-	fmt.Println("that kill a bare buffer capacitor of any realistic size.")
+	fmt.Println("\nSingle-seed, single-cell evaluation overfits one sky and one buffer;")
+	fmt.Println("the matrix shows the interaction — power-neutral control holding every")
+	fmt.Println("storage family up while the governor baseline browns out, and the")
+	fmt.Println("diode-backed reservoir riding through occlusions that kill a bare")
+	fmt.Println("capacitor of any realistic size.")
 
-	// The aggregate exports as JSON (and per-run scalars as CSV) for
-	// external tooling; see also `pnsim -scenario ... -mc N -json f`.
+	// The aggregate exports as JSON (and per-cell/per-run tables as CSV)
+	// for external tooling; see also `pnstudy -json/-cells-csv/-runs-csv`.
 	if len(os.Args) > 1 && os.Args[1] == "-json" {
-		if err := out.WriteSummaryJSON(os.Stdout); err != nil {
+		if err := out.WriteJSON(os.Stdout); err != nil {
 			log.Fatal(err)
 		}
 	}
 }
+
+// offset shifts a diurnal profile so the scenario starts mid-morning.
+type offset struct {
+	base pnps.IrradianceProfile
+	t0   float64
+}
+
+func (o offset) Irradiance(t float64) float64 { return o.base.Irradiance(t + o.t0) }

@@ -5,9 +5,9 @@ import (
 	"fmt"
 	"sort"
 
-	"pnps/internal/batch"
 	"pnps/internal/core"
 	"pnps/internal/scenario"
+	"pnps/internal/study"
 )
 
 // SweepPoint is one evaluated parameter combination.
@@ -95,40 +95,76 @@ func RunSweep(opts SweepOptions) ([]SweepPoint, error) {
 	return RunSweepContext(context.Background(), opts)
 }
 
+// paramLabel renders one grid point's canonical axis label. The grid
+// index keeps labels unique even when option lists contain duplicate
+// values (the legacy sweep scored duplicates twice; so does the study).
+func paramLabel(i int, p core.Params) string {
+	return fmt.Sprintf("g%d vw=%g vq=%g a=%g b=%g", i, p.VWidth, p.VQ, p.Alpha, p.Beta)
+}
+
+// sweepStudy assembles the one-axis Study the sweep runs on: the grid
+// is a "params" axis over the shared evaluation scenario, every point
+// scored on the identical stochastic realisation (SeedShared — the
+// sweep holds the weather fixed and varies only the controller).
+func sweepStudy(opts SweepOptions, grid []core.Params) (study.Study, error) {
+	base, ok := scenario.Lookup(opts.Scenario)
+	if !ok {
+		return study.Study{}, fmt.Errorf("sweep: unknown scenario %q (known: %v)", opts.Scenario, scenario.Names())
+	}
+	base.Duration = opts.Duration
+	levels := make([]study.Level, len(grid))
+	for i, p := range grid {
+		levels[i] = study.Params(paramLabel(i, p), p)
+	}
+	return study.Study{
+		Name:     "param-sweep",
+		Base:     base,
+		Axes:     []study.Axis{study.NewAxis("params", levels...)},
+		Seed:     opts.Seed,
+		SeedMode: study.SeedShared,
+		Workers:  opts.Workers, OnProgress: opts.OnProgress,
+		// Fail fast: no result is returned on error, so there is no
+		// point burning the remaining grid's compute.
+		FailFast: true,
+	}, nil
+}
+
 // RunSweepContext is RunSweep with cancellation: when ctx is cancelled,
 // in-flight points finish but unstarted points are abandoned and the
 // context error is returned. A failing grid point likewise cancels the
 // rest of the batch (fail-fast) — no result is returned on error, so
 // there is no point burning the remaining grid's compute.
+//
+// The sweep is a one-axis study under the hood (see internal/study):
+// grid points are matrix cells, scored trace-free on the shared-seed
+// evaluation scenario. The online stability band and supply envelope
+// are bit-identical to the series analyses the sweep historically used,
+// so the output is pinned exactly by TestRunSweepGoldenOnStudyEngine.
 func RunSweepContext(ctx context.Context, opts SweepOptions) ([]SweepPoint, error) {
 	opts.withDefaults()
-	base, ok := scenario.Lookup(opts.Scenario)
-	if !ok {
-		return nil, fmt.Errorf("sweep: unknown scenario %q (known: %v)", opts.Scenario, scenario.Names())
-	}
-	base.Duration = opts.Duration
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
 	grid := enumerateGrid(opts)
-	pts, err := batch.Map(ctx, grid, func(_ context.Context, p core.Params) (SweepPoint, error) {
-		sp := base
-		sp.Control = scenario.Controlled(p)
-		res, err := sp.Run(opts.Seed)
-		if err != nil {
-			cancel()
-			return SweepPoint{}, fmt.Errorf("sweep %+v: %w", p, err)
-		}
-		minV, _ := res.VC.Min()
-		return SweepPoint{
-			Params:    p,
-			Stability: res.StabilityWithin(0.05),
-			Survived:  !res.BrownedOut,
-			MinVC:     minV,
-			Instr:     res.Instructions,
-		}, nil
-	}, batch.Options{Workers: opts.Workers, OnProgress: opts.OnProgress})
+	if len(grid) == 0 {
+		// Every combination filtered out (β < α across the board): an
+		// empty result, not a malformed study.
+		return nil, nil
+	}
+	st, err := sweepStudy(opts, grid)
 	if err != nil {
 		return nil, err
+	}
+	out, err := st.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]SweepPoint, len(grid))
+	for i, r := range out.Results {
+		pts[i] = SweepPoint{
+			Params:    grid[i],
+			Stability: r.Metrics.Stability,
+			Survived:  r.Metrics.Survived,
+			MinVC:     r.Metrics.MinVC,
+			Instr:     r.Metrics.Instructions,
+		}
 	}
 	sort.SliceStable(pts, func(i, j int) bool {
 		if pts[i].Survived != pts[j].Survived {

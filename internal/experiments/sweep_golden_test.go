@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"context"
+	"sort"
+	"testing"
+
+	"pnps/internal/batch"
+	"pnps/internal/core"
+	"pnps/internal/scenario"
+)
+
+// legacyRunSweep is the pre-study sweep implementation, kept verbatim
+// (series-retaining runs, stability and minimum taken from the VC
+// trace) as the golden reference: RunSweep re-implemented on the study
+// engine must reproduce its output bit for bit.
+func legacyRunSweep(t *testing.T, opts SweepOptions) []SweepPoint {
+	t.Helper()
+	opts.withDefaults()
+	base, ok := scenario.Lookup(opts.Scenario)
+	if !ok {
+		t.Fatalf("unknown scenario %q", opts.Scenario)
+	}
+	base.Duration = opts.Duration
+	grid := enumerateGrid(opts)
+	pts, err := batch.Map(context.Background(), grid,
+		func(_ context.Context, p core.Params) (SweepPoint, error) {
+			sp := base
+			sp.Control = scenario.Controlled(p)
+			res, err := sp.Run(opts.Seed)
+			if err != nil {
+				return SweepPoint{}, err
+			}
+			minV, _ := res.VC.Min()
+			return SweepPoint{
+				Params:    p,
+				Stability: res.StabilityWithin(0.05),
+				Survived:  !res.BrownedOut,
+				MinVC:     minV,
+				Instr:     res.Instructions,
+			}, nil
+		}, batch.Options{Workers: opts.Workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.SliceStable(pts, func(i, j int) bool {
+		if pts[i].Survived != pts[j].Survived {
+			return pts[i].Survived
+		}
+		return pts[i].Stability > pts[j].Stability
+	})
+	return pts
+}
+
+// TestRunSweepGoldenOnStudyEngine: the study-engine sweep reproduces
+// the legacy implementation exactly — same points, same order, every
+// float bit-identical — even though the new path runs trace-free (the
+// online stability band and supply envelope are bit-identical to the
+// series analyses, which this test also ends up proving end to end).
+func TestRunSweepGoldenOnStudyEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-point sweep in -short mode")
+	}
+	opts := SweepOptions{
+		VWidths:  []float64{0.10, 0.144},
+		VQs:      []float64{0.0479},
+		Alphas:   []float64{0.06, 0.120},
+		Betas:    []float64{0.479},
+		Duration: 30,
+	}
+	want := legacyRunSweep(t, opts)
+	got, err := RunSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d points, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("point %d diverged:\nlegacy %+v\nstudy  %+v", i, want[i], got[i])
+		}
+	}
+}
+
+// TestRunSweepDegenerateGrids: grids the legacy implementation
+// tolerated keep working on the study engine — duplicate option values
+// score twice, and a fully β<α-filtered grid returns an empty result
+// rather than a malformed-study error.
+func TestRunSweepDegenerateGrids(t *testing.T) {
+	pts, err := RunSweep(SweepOptions{
+		VWidths: []float64{0.144, 0.144}, VQs: []float64{0.0479},
+		Alphas: []float64{0.12}, Betas: []float64{0.479},
+		Duration: 5,
+	})
+	if err != nil {
+		t.Fatalf("duplicate grid values: %v", err)
+	}
+	if len(pts) != 2 || pts[0] != pts[1] {
+		t.Fatalf("duplicate grid scored %d points (%+v), want 2 identical", len(pts), pts)
+	}
+
+	pts, err = RunSweep(SweepOptions{
+		VWidths: []float64{0.144}, VQs: []float64{0.0479},
+		Alphas: []float64{0.5}, Betas: []float64{0.1},
+		Duration: 5,
+	})
+	if err != nil || len(pts) != 0 {
+		t.Fatalf("all-filtered grid = %d points, %v; want empty, nil", len(pts), err)
+	}
+}

@@ -10,6 +10,15 @@ import (
 // Built-in scenarios self-register from builtin.go; callers may add
 // their own with Register. Lookups return copies — a Spec is a value,
 // so mutating a lookup result never affects the registry.
+//
+// Concurrency contract: every registry function (Register, MustRegister,
+// Lookup, MustLookup, Names, List) is safe for concurrent use — reads
+// take the shared lock, registrations the exclusive one, so campaigns
+// and studies may resolve scenarios from worker goroutines while other
+// code registers new ones. Registration is first-wins: a duplicate name
+// errors rather than replacing, so a Spec observed through Lookup can
+// never change behind a caller's back. Init-time registration (the
+// built-ins' pattern) needs no locking discipline beyond this.
 var (
 	regMu    sync.RWMutex
 	registry = map[string]Spec{}

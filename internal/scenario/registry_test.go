@@ -1,0 +1,78 @@
+package scenario
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pnps/internal/pv"
+)
+
+// TestRegistryConcurrentAccess exercises the registry's documented
+// concurrency contract under the race detector (CI runs this package
+// with -race): concurrent registrations, duplicate attempts, lookups
+// and listings must be data-race free and first-wins consistent.
+func TestRegistryConcurrentAccess(t *testing.T) {
+	const (
+		writers = 8
+		readers = 8
+		perW    = 20
+	)
+	name := func(w, i int) string { return fmt.Sprintf("race-test-w%d-%d", w, i) }
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				sp := Spec{
+					Name:     name(w, i),
+					Profile:  FixedProfile(pv.Constant(1000)),
+					Duration: 1,
+				}
+				if err := Register(sp); err != nil {
+					t.Errorf("register %s: %v", sp.Name, err)
+					return
+				}
+				// Duplicate registration must error, never replace.
+				sp.Duration = 99
+				if err := Register(sp); err == nil {
+					t.Errorf("duplicate %s accepted", sp.Name)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				// Lookups race with registrations by design; when a name
+				// is visible it must carry the first-registered value.
+				if sp, ok := Lookup(name(r%writers, i)); ok && sp.Duration != 1 {
+					t.Errorf("lookup %s saw duration %g, want first-registered 1", sp.Name, sp.Duration)
+					return
+				}
+				if _, ok := Lookup("stress-clouds"); !ok {
+					t.Error("built-in vanished during concurrent registration")
+					return
+				}
+				_ = Names()
+				_ = List()
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	// Every registration must have landed and read back intact.
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perW; i++ {
+			sp, ok := Lookup(name(w, i))
+			if !ok || sp.Duration != 1 {
+				t.Fatalf("post-race lookup %s = %+v, %v", name(w, i), sp, ok)
+			}
+		}
+	}
+}

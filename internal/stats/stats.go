@@ -2,6 +2,27 @@
 // harness needs: summary statistics, percentiles, time-weighted histograms
 // (used for the paper's Fig. 13 "time spent at each operating voltage"
 // analysis) and linear regression for model calibration checks.
+//
+// # Choosing a quantile estimator
+//
+// Three quantile paths coexist, in order of preference:
+//
+//   - Quantile / Summarize: exact order statistics when the sample fits
+//     in memory — what campaign and study summaries use for per-run
+//     scalar metrics.
+//   - Histogram.Quantile: bin-bounded error on streams of any length
+//     and ordering, and the only estimator that supports time-weighted
+//     observations. Prefer it whenever a histogram is available — in
+//     particular over P2 for time-ordered signals.
+//   - P2: O(1)-memory single-quantile sketch for unbounded streams with
+//     no histogram. Caveat: monotone (sorted or steadily drifting)
+//     streams are adversarial for P² — the markers can only chase the
+//     moving distribution and the estimate can be off by a tenth of the
+//     data span. Simulation signals are time-ordered and often drift,
+//     so summaries derived from them should use Histogram.Quantile when
+//     a histogram is available (study and campaign dwell-time summaries
+//     do exactly this); reach for P2 only when memory rules a histogram
+//     out and the stream is not monotone.
 package stats
 
 import (
@@ -104,6 +125,24 @@ func NewHistogram(lo, hi float64, n int) (*Histogram, error) {
 		return nil, fmt.Errorf("stats: histogram bounds [%g,%g) invalid", lo, hi)
 	}
 	return &Histogram{Lo: lo, Hi: hi, Bins: make([]float64, n)}, nil
+}
+
+// RestoreHistogram rebuilds a histogram from serialised state — the
+// exact accumulated bins, under/overflow and total of a previously
+// built histogram (see the study-checkpoint protocol). The counters are
+// taken verbatim rather than recomputed, so a restored histogram is
+// bit-identical to the one that was serialised; bins are copied.
+func RestoreHistogram(lo, hi float64, bins []float64, under, over, total float64) (*Histogram, error) {
+	if len(bins) == 0 {
+		return nil, fmt.Errorf("stats: restore of empty histogram")
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("stats: histogram bounds [%g,%g) invalid", lo, hi)
+	}
+	return &Histogram{
+		Lo: lo, Hi: hi, Bins: append([]float64(nil), bins...),
+		under: under, over: over, total: total,
+	}, nil
 }
 
 // Add records x with weight 1.

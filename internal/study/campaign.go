@@ -1,41 +1,24 @@
-package scenario
+package study
 
 import (
 	"context"
 	"errors"
 	"fmt"
 
-	"pnps/internal/batch"
+	"pnps/internal/scenario"
 	"pnps/internal/sim"
 	"pnps/internal/stats"
 )
 
-// Variant perturbs the spec for one campaign run. It receives the run
-// index k and the run's derived seed (already decorrelated from the base
-// seed via batch.Seed) and mutates the copied spec in place — swap the
-// storage model, scale a parameter, change the weather. The seed passed
-// on to Assemble is the same derived seed, so weather realisations vary
-// per run even with a nil Variant.
-type Variant func(k int, seed int64, s *Spec)
-
-// GroupFunc labels one campaign run for grouped aggregation. It runs
-// after Vary, so the label can reflect the perturbation (e.g. the
-// storage model swapped in); the spec is passed by value — grouping
-// classifies a run, it cannot change it (mutate in Vary instead). Runs
-// sharing a label aggregate into one GroupSummary.
-type GroupFunc func(k int, seed int64, s Spec) string
-
-// DefaultStabilityBands are the fractional supply-stability bands every
-// campaign run accumulates online (±5%, the paper's headline metric,
-// and ±10%): campaigns report within-band stability without retaining
-// any trace.
-var DefaultStabilityBands = []float64{0.05, 0.10}
-
 // Campaign fans Monte-Carlo variations of a base scenario across the
 // deterministic batch engine: run k executes Base (perturbed by Vary)
-// with seed batch.Seed(Seed, k). Results are collected in run order and
-// aggregated sequentially, so a campaign's Outcome is bit-identical for
-// any Workers value.
+// with seed batch.Seed(Seed, k). It is the single-cell special case of
+// a Study — Run builds one and executes its task ledger — kept as a
+// first-class surface because "N seed-varied repetitions of one
+// scenario, grouped by an ad-hoc label" is the everyday shape of
+// Monte-Carlo work. Results are collected in run order and aggregated
+// sequentially, so a campaign's Outcome is bit-identical for any
+// Workers value.
 //
 // Campaigns are trace-free by default: each run carries online
 // observers (stability bands, the supply envelope, optionally a
@@ -44,7 +27,7 @@ var DefaultStabilityBands = []float64{0.05, 0.10}
 // than its worker count times one run.
 type Campaign struct {
 	// Base is the scenario every run starts from.
-	Base Spec
+	Base scenario.Spec
 	// Runs is the number of Monte-Carlo repetitions (must be positive).
 	Runs int
 	// Seed is the campaign base seed; per-run seeds derive from it.
@@ -90,7 +73,7 @@ type RunResult struct {
 	// ungrouped).
 	Group string
 	// Spec is the (possibly perturbed) scenario the run executed.
-	Spec Spec
+	Spec scenario.Spec
 	// Result is the simulation outcome.
 	Result *sim.Result
 
@@ -99,8 +82,8 @@ type RunResult struct {
 	vcHist *stats.Histogram
 }
 
-// Summary aggregates campaign runs deterministically (in run order).
-// Each stats.Summary carries the quantile band (P5/P25/median/P75/P95)
+// Summary aggregates runs deterministically (in run order). Each
+// stats.Summary carries the quantile band (P5/P25/median/P75/P95)
 // alongside the moments.
 type Summary struct {
 	// Runs is the number of completed runs.
@@ -150,90 +133,37 @@ type Outcome struct {
 	VCHistogram *stats.Histogram
 }
 
-// summaryBand is the fractional band Summary.Stability aggregates (the
-// paper's headline ±5%).
-const summaryBand = 0.05
-
-// stabilityBands returns the effective per-run stability bands. The
-// summary band is guaranteed to be present: without it, every run's
-// StabilityWithin(0.05) would be NaN trace-free and the campaign's
-// headline stability aggregate would silently vanish.
-func (c Campaign) stabilityBands() []float64 {
-	bands := c.StabilityBands
-	if len(bands) == 0 {
-		bands = DefaultStabilityBands
-	}
-	for _, pct := range bands {
-		if pct == summaryBand {
-			return bands
-		}
-	}
-	return append(append([]float64(nil), bands...), summaryBand)
-}
-
-// Run executes the campaign. Runs are independent simulations fanned
-// over batch.Map; a failing run fails the campaign (index-ordered error
-// aggregation), and cancelling ctx abandons unstarted runs.
+// Run executes the campaign on the study engine: a single-cell Study
+// whose repetition ledger is the campaign's run list. Runs are
+// independent simulations fanned over batch.Map; a failing run fails
+// the campaign (index-ordered error aggregation), and cancelling ctx
+// abandons unstarted runs.
 func (c Campaign) Run(ctx context.Context) (*Outcome, error) {
 	if c.Runs <= 0 {
-		return nil, fmt.Errorf("scenario: campaign needs a positive run count, got %d", c.Runs)
+		return nil, fmt.Errorf("study: campaign needs a positive run count, got %d", c.Runs)
 	}
-	if c.VCHistBins > 0 && !(c.VCHistHi > c.VCHistLo) {
-		return nil, fmt.Errorf("scenario: campaign VC histogram bounds [%g,%g) invalid", c.VCHistLo, c.VCHistHi)
+	st := Study{
+		Name: c.Base.Name, Base: c.Base, Reps: c.Runs, Seed: c.Seed,
+		Vary: c.Vary, Group: c.Group,
+		Workers: c.Workers, OnProgress: c.OnProgress,
+		KeepSeries: c.KeepSeries, StabilityBands: c.StabilityBands,
+		VCHistBins: c.VCHistBins, VCHistLo: c.VCHistLo, VCHistHi: c.VCHistHi,
 	}
-	bands := c.stabilityBands()
-	// Derive every run's spec, seed and group up front, deterministically.
-	runs := make([]RunResult, c.Runs)
-	for k := range runs {
-		seed := batch.Seed(c.Seed, k)
-		sp := c.Base
-		if !c.KeepSeries {
-			sp.SkipSeries = true
-		}
-		if c.Vary != nil {
-			c.Vary(k, seed, &sp)
-		}
-		runs[k] = RunResult{Index: k, Seed: seed, Spec: sp}
-		if c.Group != nil {
-			runs[k].Group = c.Group(k, seed, sp)
-		}
-	}
-	type runOutput struct {
-		res    *sim.Result
-		vcHist *stats.Histogram
-	}
-	results, err := batch.Map(ctx, runs, func(_ context.Context, r RunResult) (runOutput, error) {
-		cfg, err := r.Spec.Assemble(r.Seed)
-		if err != nil {
-			return runOutput{}, fmt.Errorf("campaign run %d (seed %d): %w", r.Index, r.Seed, err)
-		}
-		// Attach the per-run online observers: stability bands always
-		// (appended to any spec-level bands), the dwell histogram when
-		// configured. Fresh slices per run — specs fan out across
-		// workers and must not share mutable state.
-		cfg.StabilityBands = append(append([]float64(nil), cfg.StabilityBands...), bands...)
-		var out runOutput
-		if c.VCHistBins > 0 {
-			tis, err := sim.NewTimeInStateObserver(sim.ChanVC, c.VCHistLo, c.VCHistHi, c.VCHistBins)
-			if err != nil {
-				return runOutput{}, fmt.Errorf("campaign run %d: %w", r.Index, err)
-			}
-			out.vcHist = tis.Hist
-			cfg.Observers = append(append([]sim.Observer(nil), cfg.Observers...), tis)
-		}
-		res, err := sim.Run(cfg)
-		if err != nil {
-			return runOutput{}, fmt.Errorf("campaign run %d (seed %d): %w", r.Index, r.Seed, err)
-		}
-		out.res = res
-		return out, nil
-	}, batch.Options{Workers: c.Workers, OnProgress: c.OnProgress})
+	p, err := st.plan()
 	if err != nil {
 		return nil, err
 	}
-	for k := range runs {
-		runs[k].Result = results[k].res
-		runs[k].vcHist = results[k].vcHist
+	results, err := st.runTasks(ctx, p, p.allTasks(st))
+	if err != nil {
+		return nil, err
+	}
+	runs := make([]RunResult, len(results))
+	for i := range results {
+		r := &results[i]
+		runs[i] = RunResult{
+			Index: r.Task.Index, Seed: r.Task.Seed, Group: r.Group,
+			Spec: r.Spec, Result: r.Result, vcHist: r.Hist,
+		}
 	}
 	out := &Outcome{Results: runs}
 	if err := out.summarise(c); err != nil {
@@ -259,17 +189,17 @@ func newSummaryAccum(capacity int) *summaryAccum {
 	}
 }
 
-func (a *summaryAccum) add(res *sim.Result) {
-	if !res.BrownedOut {
+func (a *summaryAccum) add(m RunMetrics) {
+	if m.Survived {
 		a.survived++
 	}
-	a.brownouts += res.Brownouts
-	a.stability = append(a.stability, res.StabilityWithin(summaryBand))
-	a.instr = append(a.instr, res.Instructions)
-	a.life = append(a.life, res.LifetimeSeconds)
-	a.finalVC = append(a.finalVC, res.FinalVC)
-	a.minVC = append(a.minVC, res.VCEnvelope.Min)
-	a.deltaJ = append(a.deltaJ, res.StorageEnergyEndJ-res.StorageEnergyStartJ)
+	a.brownouts += m.Brownouts
+	a.stability = append(a.stability, m.Stability)
+	a.instr = append(a.instr, m.Instructions)
+	a.life = append(a.life, m.LifetimeSeconds)
+	a.finalVC = append(a.finalVC, m.FinalVC)
+	a.minVC = append(a.minVC, m.MinVC)
+	a.deltaJ = append(a.deltaJ, m.StorageEnergyDeltaJ)
 }
 
 func (a *summaryAccum) summary() (Summary, error) {
@@ -306,14 +236,15 @@ func (a *summaryAccum) summary() (Summary, error) {
 func (o *Outcome) summarise(c Campaign) error {
 	n := len(o.Results)
 	if n == 0 {
-		return errors.New("scenario: empty campaign")
+		return errors.New("study: empty campaign")
 	}
 	overall := newSummaryAccum(n)
 	var groupOrder []string
 	groups := map[string]*summaryAccum{}
 	for i := range o.Results {
 		r := &o.Results[i]
-		overall.add(r.Result)
+		m := metricsFrom(r.Result)
+		overall.add(m)
 		if c.Group != nil {
 			g, ok := groups[r.Group]
 			if !ok {
@@ -321,7 +252,7 @@ func (o *Outcome) summarise(c Campaign) error {
 				groups[r.Group] = g
 				groupOrder = append(groupOrder, r.Group)
 			}
-			g.add(r.Result)
+			g.add(m)
 		}
 		if r.vcHist != nil {
 			if o.VCHistogram == nil {

@@ -1,8 +1,10 @@
-package scenario
+package study
 
 import (
 	"context"
 	"testing"
+
+	"pnps/internal/scenario"
 )
 
 // BenchmarkCampaignTraceFree is the campaign-scale hot-path benchmark:
@@ -13,7 +15,7 @@ import (
 // the numbers the README "Performance" section quotes for trace-free
 // campaigns.
 func BenchmarkCampaignTraceFree(b *testing.B) {
-	base := MustLookup("stress-clouds")
+	base := scenario.MustLookup("stress-clouds")
 	base.Duration = 10
 	for _, workers := range []int{1, 4} {
 		b.Run(map[int]string{1: "workers=1", 4: "workers=4"}[workers], func(b *testing.B) {

@@ -1,4 +1,4 @@
-package scenario
+package study
 
 import (
 	"context"
@@ -9,6 +9,7 @@ import (
 	"pnps/internal/batch"
 	"pnps/internal/buffer"
 	"pnps/internal/pv"
+	"pnps/internal/scenario"
 	"pnps/internal/sim"
 	"pnps/internal/soc"
 )
@@ -16,7 +17,7 @@ import (
 // supercapVsIdeal alternates runs between the ideal 47 mF capacitor and
 // a real supercap bank with ESR and leakage — the paper's storage
 // comparison as a Monte-Carlo campaign.
-func supercapVsIdeal(k int, _ int64, s *Spec) {
+func supercapVsIdeal(k int, _ int64, s *scenario.Spec) {
 	if k%2 == 0 {
 		s.Storage = sim.IdealCap{Farads: 47e-3}
 		return
@@ -30,7 +31,7 @@ func supercapVsIdeal(k int, _ int64, s *Spec) {
 // must produce bit-identical outcomes at 1, 2 and 8 workers (CI runs
 // this under -race).
 func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
-	base := MustLookup("stress-clouds")
+	base := scenario.MustLookup("stress-clouds")
 	base.Duration = 20
 	mk := func(workers int) *Outcome {
 		out, err := Campaign{
@@ -64,12 +65,12 @@ func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
 // including the merged dwell-time voltage histogram — is bit-identical
 // at 1, 2 and 8 workers.
 func TestCampaignTraceFreeDeterministicAndBounded(t *testing.T) {
-	base := MustLookup("stress-clouds")
+	base := scenario.MustLookup("stress-clouds")
 	base.Duration = 15
 	mk := func(workers int) *Outcome {
 		out, err := Campaign{
 			Base: base, Runs: 8, Seed: 5, Vary: supercapVsIdeal, Workers: workers,
-			Group: func(k int, _ int64, _ Spec) string {
+			Group: func(k int, _ int64, _ scenario.Spec) string {
 				if k%2 == 0 {
 					return "ideal"
 				}
@@ -128,7 +129,7 @@ func TestCampaignTraceFreeDeterministicAndBounded(t *testing.T) {
 // list that omits ±5% must not poison the headline Summary.Stability —
 // the summary band is always accumulated alongside the custom ones.
 func TestCampaignCustomBandsKeepSummary(t *testing.T) {
-	base := MustLookup("stress-clouds")
+	base := scenario.MustLookup("stress-clouds")
 	base.Duration = 10
 	out, err := Campaign{
 		Base: base, Runs: 3, Seed: 9, StabilityBands: []float64{0.02},
@@ -153,7 +154,7 @@ func TestCampaignCustomBandsKeepSummary(t *testing.T) {
 // trace-free campaign aggregates is bit-identical to the series-derived
 // stability of the same campaign with KeepSeries.
 func TestCampaignStabilityMatchesKeepSeries(t *testing.T) {
-	base := MustLookup("stress-clouds")
+	base := scenario.MustLookup("stress-clouds")
 	base.Duration = 15
 	mk := func(keep bool) *Outcome {
 		out, err := Campaign{Base: base, Runs: 4, Seed: 11, KeepSeries: keep}.Run(context.Background())
@@ -178,11 +179,11 @@ func TestCampaignStabilityMatchesKeepSeries(t *testing.T) {
 // TestCampaignExport: the CSV has one row per run with the group label,
 // and the JSON aggregate round-trips without NaN.
 func TestCampaignExport(t *testing.T) {
-	base := MustLookup("stress-clouds")
+	base := scenario.MustLookup("stress-clouds")
 	base.Duration = 10
 	out, err := Campaign{
 		Base: base, Runs: 3, Seed: 3,
-		Group:      func(k int, _ int64, _ Spec) string { return "g" },
+		Group:      func(k int, _ int64, _ scenario.Spec) string { return "g" },
 		VCHistBins: 16, VCHistLo: 4, VCHistHi: 6,
 	}.Run(context.Background())
 	if err != nil {
@@ -222,7 +223,7 @@ func TestCampaignExport(t *testing.T) {
 // TestCampaignSeedsDecorrelated: with no Variant, runs still differ —
 // each gets an independent weather realisation from its derived seed.
 func TestCampaignSeedsDecorrelated(t *testing.T) {
-	base := MustLookup("stress-clouds")
+	base := scenario.MustLookup("stress-clouds")
 	base.Duration = 20
 	out, err := Campaign{Base: base, Runs: 4, Seed: 7}.Run(context.Background())
 	if err != nil {
@@ -254,9 +255,9 @@ func TestCampaignSeedsDecorrelated(t *testing.T) {
 // this need not hold per run — the controller adapts to the lossy
 // trajectory — which is exactly why the storage belongs in the live ODE.
 func TestCampaignSupercapPaysForParasitics(t *testing.T) {
-	base := MustLookup("stress-clouds")
+	base := scenario.MustLookup("stress-clouds")
 	base.Duration = 20
-	base.Control = Uncontrolled() // static MinOPP: event-free
+	base.Control = scenario.Uncontrolled() // static MinOPP: event-free
 	base.Profile = func(seed int64, span float64) pv.Profile {
 		// Shallow clouds: deep occlusions would brown out even MinOPP.
 		return pv.NewClouds(pv.Constant(800), pv.PartialSun(span), seed)

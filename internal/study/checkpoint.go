@@ -1,0 +1,322 @@
+package study
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"pnps/internal/scenario"
+	"pnps/internal/soc"
+	"pnps/internal/stats"
+)
+
+// Fingerprint identifies a study plan: merging or resuming checkpoints
+// is only meaningful between executions of the identical matrix, so
+// every checkpoint carries the shape it was cut from and every
+// consumer verifies it.
+type Fingerprint struct {
+	Name     string       `json:"name,omitempty"`
+	Base     BaseDigest   `json:"base"`
+	Seed     int64        `json:"seed"`
+	SeedMode SeedMode     `json:"seed_mode"`
+	Reps     int          `json:"reps"`
+	Axes     []AxisDigest `json:"axes,omitempty"`
+	// VCHistBins/Lo/Hi pin the dwell-histogram configuration: merging
+	// records with differently-binned histograms would corrupt them.
+	VCHistBins int     `json:"vc_hist_bins,omitempty"`
+	VCHistLo   float64 `json:"vc_hist_lo,omitempty"`
+	VCHistHi   float64 `json:"vc_hist_hi,omitempty"`
+}
+
+// BaseDigest pins the scalar identity of the base scenario, so shards
+// cut from materially different runs (a 60 s vs a 120 s study of the
+// same matrix, say) refuse to merge. Function-valued spec fields
+// (Profile, Source, Storage, axis setters) cannot be digested — the
+// study definition is code; running shards with divergent code is on
+// the caller.
+type BaseDigest struct {
+	Scenario    string           `json:"scenario,omitempty"`
+	Duration    float64          `json:"duration"`
+	Utilisation float64          `json:"utilisation,omitempty"`
+	InitialVC   float64          `json:"initial_vc,omitempty"`
+	TargetVolts float64          `json:"target_volts,omitempty"`
+	MaxStep     float64          `json:"max_step,omitempty"`
+	Boot        soc.OPP          `json:"boot"`
+	Control     scenario.Control `json:"control"`
+}
+
+func baseDigest(sp scenario.Spec) BaseDigest {
+	return BaseDigest{
+		Scenario: sp.Name, Duration: sp.Duration, Utilisation: sp.Utilisation,
+		InitialVC: sp.InitialVC, TargetVolts: sp.TargetVolts, MaxStep: sp.MaxStep,
+		Boot: sp.Boot, Control: sp.Control,
+	}
+}
+
+// AxisDigest is the serialisable identity of one axis: its name and
+// level labels (the setters themselves cannot be serialised — the
+// study definition is code, the checkpoint is data).
+type AxisDigest struct {
+	Name   string   `json:"name"`
+	Levels []string `json:"levels"`
+}
+
+// equal compares fingerprints structurally.
+func (f Fingerprint) equal(other Fingerprint) bool {
+	if f.Name != other.Name || f.Base != other.Base ||
+		f.Seed != other.Seed || f.SeedMode != other.SeedMode ||
+		f.Reps != other.Reps || f.VCHistBins != other.VCHistBins ||
+		f.VCHistLo != other.VCHistLo || f.VCHistHi != other.VCHistHi ||
+		len(f.Axes) != len(other.Axes) {
+		return false
+	}
+	for i, ax := range f.Axes {
+		o := other.Axes[i]
+		if ax.Name != o.Name || len(ax.Levels) != len(o.Levels) {
+			return false
+		}
+		for j, lv := range ax.Levels {
+			if lv != o.Levels[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// fingerprint derives the study's identity from its validated plan.
+func (st Study) fingerprint(p *plan) Fingerprint {
+	f := Fingerprint{
+		Name: st.Name, Base: baseDigest(st.Base),
+		Seed: st.Seed, SeedMode: st.SeedMode, Reps: p.reps,
+		VCHistBins: st.VCHistBins, VCHistLo: st.VCHistLo, VCHistHi: st.VCHistHi,
+	}
+	for _, ax := range st.Axes {
+		d := AxisDigest{Name: ax.Name, Levels: make([]string, len(ax.Levels))}
+		for i, lv := range ax.Levels {
+			d.Levels[i] = lv.Label
+		}
+		f.Axes = append(f.Axes, d)
+	}
+	return f
+}
+
+func (st Study) checkFingerprint(p *plan, cp *Checkpoint) error {
+	if !st.fingerprint(p).equal(cp.Fingerprint) {
+		return fmt.Errorf("study: checkpoint belongs to a different study (fingerprint mismatch)")
+	}
+	if cp.Total != p.total {
+		return fmt.Errorf("study: checkpoint ledger size %d, study has %d tasks", cp.Total, p.total)
+	}
+	return nil
+}
+
+// TaskRange is a half-open [Lo, Hi) span of ledger task indices — the
+// unit of the resumable seed-range ledger.
+type TaskRange struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+func (r TaskRange) String() string { return fmt.Sprintf("[%d,%d)", r.Lo, r.Hi) }
+
+// TaskRecord is one completed task in a checkpoint: the ledger index,
+// its derived seed, and everything aggregation consumes. Dwell
+// histograms are stored per task so that merged outcomes replay
+// accumulation in canonical task order — the property that makes
+// sharded and resumed studies bit-identical to unsharded runs.
+type TaskRecord struct {
+	Index   int        `json:"task"`
+	Seed    int64      `json:"seed"`
+	Group   string     `json:"group,omitempty"`
+	Metrics RunMetrics `json:"metrics"`
+
+	HistBins  []float64 `json:"hist_bins,omitempty"`
+	HistUnder float64   `json:"hist_under,omitempty"`
+	HistOver  float64   `json:"hist_over,omitempty"`
+	HistTotal float64   `json:"hist_total,omitempty"`
+}
+
+// Checkpoint is the serialisable state of a partially (or fully)
+// executed study: which ledger ranges are done and the per-task
+// records needed to finish the aggregation later, elsewhere, or both.
+// Shards produce checkpoints; Merge unions them; Study.Resume fills
+// the gaps; Study.Outcome folds a complete checkpoint into a
+// StudyOutcome bit-identical to an unsharded run's.
+type Checkpoint struct {
+	Fingerprint Fingerprint `json:"fingerprint"`
+	// Total is the full ledger size (cells × reps).
+	Total int `json:"total_tasks"`
+	// Completed lists the done task ranges, sorted and coalesced.
+	Completed []TaskRange `json:"completed"`
+	// Records holds one entry per completed task, sorted by index.
+	Records []TaskRecord `json:"records"`
+}
+
+// checkpointFrom cuts a checkpoint from executed task results.
+func (st Study) checkpointFrom(p *plan, results []TaskResult) (*Checkpoint, error) {
+	cp := &Checkpoint{
+		Fingerprint: st.fingerprint(p),
+		Total:       p.total,
+		Records:     make([]TaskRecord, len(results)),
+	}
+	for i, r := range results {
+		rec := TaskRecord{
+			Index: r.Task.Index, Seed: r.Task.Seed, Group: r.Group, Metrics: r.Metrics,
+		}
+		if h := r.Hist; h != nil {
+			rec.HistBins = append([]float64(nil), h.Bins...)
+			rec.HistUnder = h.Underflow()
+			rec.HistOver = h.Overflow()
+			rec.HistTotal = h.Total()
+		}
+		cp.Records[i] = rec
+	}
+	sort.Slice(cp.Records, func(i, j int) bool { return cp.Records[i].Index < cp.Records[j].Index })
+	cp.rebuildRanges()
+	return cp, nil
+}
+
+// rebuildRanges recomputes Completed from the sorted Records.
+func (cp *Checkpoint) rebuildRanges() {
+	cp.Completed = cp.Completed[:0]
+	for _, rec := range cp.Records {
+		if n := len(cp.Completed); n > 0 && cp.Completed[n-1].Hi == rec.Index {
+			cp.Completed[n-1].Hi++
+			continue
+		}
+		cp.Completed = append(cp.Completed, TaskRange{Lo: rec.Index, Hi: rec.Index + 1})
+	}
+}
+
+// completedSet expands the record list into a membership set.
+func (cp *Checkpoint) completedSet() map[int]bool {
+	done := make(map[int]bool, len(cp.Records))
+	for _, rec := range cp.Records {
+		done[rec.Index] = true
+	}
+	return done
+}
+
+// clone deep-copies the checkpoint.
+func (cp *Checkpoint) clone() *Checkpoint {
+	out := &Checkpoint{Fingerprint: cp.Fingerprint, Total: cp.Total}
+	out.Records = make([]TaskRecord, len(cp.Records))
+	for i, rec := range cp.Records {
+		rec.HistBins = append([]float64(nil), rec.HistBins...)
+		out.Records[i] = rec
+	}
+	out.rebuildRanges()
+	return out
+}
+
+// Complete reports whether every ledger task has a record.
+func (cp *Checkpoint) Complete() bool { return len(cp.Records) == cp.Total }
+
+// Missing returns the ledger ranges still to execute, sorted.
+func (cp *Checkpoint) Missing() []TaskRange {
+	var missing []TaskRange
+	next := 0
+	for _, r := range cp.Completed {
+		if r.Lo > next {
+			missing = append(missing, TaskRange{Lo: next, Hi: r.Lo})
+		}
+		next = r.Hi
+	}
+	if next < cp.Total {
+		missing = append(missing, TaskRange{Lo: next, Hi: cp.Total})
+	}
+	return missing
+}
+
+// Merge folds the other checkpoint into cp. Both must stem from the
+// same study, and their completed task sets must be disjoint — the
+// ledger guarantees every task runs exactly once, so an overlap means
+// two shards were mis-split and is an error, not a tie-break.
+func (cp *Checkpoint) Merge(other *Checkpoint) error {
+	if !cp.Fingerprint.equal(other.Fingerprint) {
+		return fmt.Errorf("study: merge of checkpoints from different studies")
+	}
+	if cp.Total != other.Total {
+		return fmt.Errorf("study: merge of checkpoints with ledger sizes %d vs %d", cp.Total, other.Total)
+	}
+	done := cp.completedSet()
+	for _, rec := range other.Records {
+		if done[rec.Index] {
+			return fmt.Errorf("study: merge overlap at task %d — shards must partition the ledger", rec.Index)
+		}
+	}
+	cp.Records = append(cp.Records, other.Records...)
+	sort.Slice(cp.Records, func(i, j int) bool { return cp.Records[i].Index < cp.Records[j].Index })
+	cp.rebuildRanges()
+	return nil
+}
+
+// MergeCheckpoints unions shard checkpoints into one (none are mutated).
+func MergeCheckpoints(cps ...*Checkpoint) (*Checkpoint, error) {
+	if len(cps) == 0 {
+		return nil, fmt.Errorf("study: nothing to merge")
+	}
+	out := cps[0].clone()
+	for _, cp := range cps[1:] {
+		if err := out.Merge(cp); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// WriteJSON serialises the checkpoint.
+func (cp *Checkpoint) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(cp)
+}
+
+// ReadCheckpoint deserialises a checkpoint written by WriteJSON.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	cp := &Checkpoint{}
+	if err := json.NewDecoder(r).Decode(cp); err != nil {
+		return nil, fmt.Errorf("study: reading checkpoint: %w", err)
+	}
+	sort.Slice(cp.Records, func(i, j int) bool { return cp.Records[i].Index < cp.Records[j].Index })
+	cp.rebuildRanges()
+	return cp, nil
+}
+
+// Outcome folds a complete checkpoint into the study's aggregate. The
+// checkpoint must belong to this study and cover the whole ledger; an
+// incomplete checkpoint errors with the missing ranges. The outcome is
+// bit-identical to an unsharded Run of the same study (its Results
+// carry metrics and histograms but no *sim.Result — the simulations
+// happened elsewhere).
+func (st Study) Outcome(cp *Checkpoint) (*StudyOutcome, error) {
+	p, err := st.plan()
+	if err != nil {
+		return nil, err
+	}
+	if err := st.checkFingerprint(p, cp); err != nil {
+		return nil, err
+	}
+	if !cp.Complete() {
+		return nil, fmt.Errorf("study: checkpoint incomplete — missing task ranges %v", cp.Missing())
+	}
+	results := make([]TaskResult, len(cp.Records))
+	for i, rec := range cp.Records {
+		results[i] = TaskResult{
+			Task:    p.task(st, rec.Index),
+			Group:   rec.Group,
+			Metrics: rec.Metrics,
+		}
+		if len(rec.HistBins) > 0 {
+			h, err := stats.RestoreHistogram(st.VCHistLo, st.VCHistHi, rec.HistBins,
+				rec.HistUnder, rec.HistOver, rec.HistTotal)
+			if err != nil {
+				return nil, fmt.Errorf("study: task %d histogram: %w", rec.Index, err)
+			}
+			results[i].Hist = h
+		}
+	}
+	return st.outcomeFrom(p, results)
+}

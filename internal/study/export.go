@@ -1,4 +1,4 @@
-package scenario
+package study
 
 import (
 	"encoding/csv"

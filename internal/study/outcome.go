@@ -1,0 +1,205 @@
+package study
+
+import (
+	"fmt"
+
+	"pnps/internal/stats"
+)
+
+// QuantileBand is a five-point quantile summary of a dwell-time
+// distribution, computed with Histogram.Quantile — the bin-bounded
+// estimator, preferred over the P² streaming sketch whenever a
+// histogram is available (P² degrades on monotone streams; see the
+// internal/stats package docs).
+type QuantileBand struct {
+	P5, P25, Median, P75, P95 float64
+}
+
+// dwellBand summarises a dwell histogram's quantiles; nil when the
+// histogram is absent or empty.
+func dwellBand(h *stats.Histogram) *QuantileBand {
+	if h == nil || h.Total() <= 0 {
+		return nil
+	}
+	b := &QuantileBand{}
+	for _, q := range []struct {
+		p   float64
+		dst *float64
+	}{{0.05, &b.P5}, {0.25, &b.P25}, {0.5, &b.Median}, {0.75, &b.P75}, {0.95, &b.P95}} {
+		v, err := h.Quantile(q.p)
+		if err != nil {
+			return nil
+		}
+		*q.dst = v
+	}
+	return b
+}
+
+// CellOutcome is the aggregate of one matrix cell's repetitions.
+type CellOutcome struct {
+	// Cell identifies the matrix point (axis coordinates, labels, key).
+	Cell Cell
+	// Summary is the cell's deterministic aggregate with quantile bands.
+	Summary Summary
+	// VCHistogram is the task-order merge of the cell's dwell-time
+	// voltage histograms (VCHistBins > 0 only).
+	VCHistogram *stats.Histogram
+	// DwellVC summarises the cell's supply dwell-time distribution
+	// (VCHistBins > 0 only).
+	DwellVC *QuantileBand
+}
+
+// Marginal is the aggregate of every run sharing one axis level,
+// marginalised over all other axes — the "controller vs. governors,
+// everything else averaged out" view of a matrix.
+type Marginal struct {
+	// Axis and Level name the margin.
+	Axis, Level string
+	// Summary is the level's aggregate across all other axes.
+	Summary Summary
+}
+
+// StudyOutcome is a completed study matrix.
+type StudyOutcome struct {
+	// Axes digests the matrix dimensions (names and level labels, in
+	// declaration order) — the column structure of the exports.
+	Axes []AxisDigest
+	// Cells holds one aggregate per matrix cell, in canonical matrix
+	// order.
+	Cells []CellOutcome
+	// Summary is the deterministic aggregate over every run of the
+	// matrix.
+	Summary Summary
+	// DwellVC summarises the study-wide supply dwell-time distribution
+	// (VCHistBins > 0 only).
+	DwellVC *QuantileBand
+	// Marginals holds one aggregate per axis level (axes in declaration
+	// order, levels in axis order); nil for studies without axes.
+	Marginals []Marginal
+	// Groups holds one aggregate per Study.Group label, ordered by
+	// first occurrence in the ledger; nil when the study was ungrouped.
+	Groups []GroupSummary
+	// VCHistogram is the task-order merge of every run's dwell-time
+	// voltage histogram (VCHistBins > 0 only).
+	VCHistogram *stats.Histogram
+	// Results holds every run in ledger order. In-process runs carry
+	// the full *sim.Result; checkpoint-restored runs carry metrics only.
+	Results []TaskResult
+}
+
+// CellByKey returns the cell outcome with the given canonical key.
+func (o *StudyOutcome) CellByKey(key string) (CellOutcome, bool) {
+	for _, c := range o.Cells {
+		if c.Cell.Key == key {
+			return c, true
+		}
+	}
+	return CellOutcome{}, false
+}
+
+// outcomeFrom aggregates completed ledger results (sorted by task
+// index, one per ledger entry) into the study outcome. Everything is
+// accumulated strictly in task order — scalar summaries and histogram
+// merges alike — which is what makes the outcome bit-identical at any
+// worker count, across shard counts and through checkpoint round-trips.
+func (st Study) outcomeFrom(p *plan, results []TaskResult) (*StudyOutcome, error) {
+	if len(results) != p.total {
+		return nil, fmt.Errorf("study: %d results for a %d-task ledger", len(results), p.total)
+	}
+	for i := range results {
+		if results[i].Task.Index != i {
+			return nil, fmt.Errorf("study: result %d carries task index %d", i, results[i].Task.Index)
+		}
+	}
+
+	overall := newSummaryAccum(p.total)
+	cellAccums := make([]*summaryAccum, len(p.cells))
+	for i := range cellAccums {
+		cellAccums[i] = newSummaryAccum(p.reps)
+	}
+	marginAccums := make([][]*summaryAccum, len(st.Axes))
+	for a, ax := range st.Axes {
+		marginAccums[a] = make([]*summaryAccum, len(ax.Levels))
+		for l := range ax.Levels {
+			marginAccums[a][l] = newSummaryAccum(0)
+		}
+	}
+
+	out := &StudyOutcome{Axes: st.fingerprint(p).Axes, Results: results}
+	cellHists := make([]*stats.Histogram, len(p.cells))
+	mergeHist := func(into **stats.Histogram, h *stats.Histogram) error {
+		if *into == nil {
+			merged := *h // copy bounds; clone the bins
+			merged.Bins = append([]float64(nil), h.Bins...)
+			*into = &merged
+			return nil
+		}
+		return (*into).Merge(h)
+	}
+
+	var groupOrder []string
+	groupAccums := map[string]*summaryAccum{}
+	for i := range results {
+		r := &results[i]
+		cell := p.cells[r.Task.Cell]
+		overall.add(r.Metrics)
+		cellAccums[cell.Index].add(r.Metrics)
+		for a := range st.Axes {
+			marginAccums[a][cell.Coords[a]].add(r.Metrics)
+		}
+		if st.Group != nil {
+			g, ok := groupAccums[r.Group]
+			if !ok {
+				g = newSummaryAccum(0)
+				groupAccums[r.Group] = g
+				groupOrder = append(groupOrder, r.Group)
+			}
+			g.add(r.Metrics)
+		}
+		if r.Hist != nil {
+			if err := mergeHist(&cellHists[cell.Index], r.Hist); err != nil {
+				return nil, err
+			}
+			if err := mergeHist(&out.VCHistogram, r.Hist); err != nil {
+				return nil, err
+			}
+			// Merged; drop the per-task histogram so a large study does
+			// not keep O(tasks × bins) dead weight alive in Results.
+			r.Hist = nil
+		}
+	}
+
+	var err error
+	if out.Summary, err = overall.summary(); err != nil {
+		return nil, err
+	}
+	out.DwellVC = dwellBand(out.VCHistogram)
+	out.Cells = make([]CellOutcome, len(p.cells))
+	for c := range p.cells {
+		co := CellOutcome{Cell: p.cells[c], VCHistogram: cellHists[c]}
+		if co.Summary, err = cellAccums[c].summary(); err != nil {
+			return nil, err
+		}
+		co.DwellVC = dwellBand(co.VCHistogram)
+		out.Cells[c] = co
+	}
+	if len(st.Axes) > 0 {
+		for a, ax := range st.Axes {
+			for l, lv := range ax.Levels {
+				m := Marginal{Axis: ax.Name, Level: lv.Label}
+				if m.Summary, err = marginAccums[a][l].summary(); err != nil {
+					return nil, err
+				}
+				out.Marginals = append(out.Marginals, m)
+			}
+		}
+	}
+	for _, name := range groupOrder {
+		s, err := groupAccums[name].summary()
+		if err != nil {
+			return nil, err
+		}
+		out.Groups = append(out.Groups, GroupSummary{Name: name, Summary: s})
+	}
+	return out, nil
+}

@@ -19,6 +19,8 @@
 //   - internal/governor  — Linux cpufreq governor baselines
 //   - internal/sim       — the ODE/discrete-event co-simulation engine
 //   - internal/workload  — smallpt path tracer + load profiles
+//   - internal/scenario  — declarative run specs + named registry
+//   - internal/study     — cross-scenario matrices, campaigns, sharding
 //   - internal/experiments — regeneration of every paper table/figure
 //
 // The type aliases below form the stable public API; see the examples/
@@ -27,6 +29,7 @@ package pnps
 
 import (
 	"context"
+	"io"
 
 	"pnps/internal/batch"
 	"pnps/internal/buffer"
@@ -37,6 +40,7 @@ import (
 	"pnps/internal/scenario"
 	"pnps/internal/sim"
 	"pnps/internal/soc"
+	"pnps/internal/study"
 )
 
 // Controller types (the paper's contribution).
@@ -138,20 +142,127 @@ type (
 	// ScenarioControl selects a run's power-management scheme.
 	ScenarioControl = scenario.Control
 	// Campaign fans Monte-Carlo variations of a scenario across the
-	// deterministic batch engine.
-	Campaign = scenario.Campaign
+	// deterministic batch engine (the single-cell special case of a
+	// Study).
+	Campaign = study.Campaign
 	// CampaignOutcome is a completed campaign: per-run results plus the
 	// deterministic aggregate summary.
-	CampaignOutcome = scenario.Outcome
+	CampaignOutcome = study.Outcome
 	// CampaignSummary is the order-independent campaign aggregate.
-	CampaignSummary = scenario.Summary
+	CampaignSummary = study.Summary
 	// CampaignVariant perturbs the spec for one campaign run.
-	CampaignVariant = scenario.Variant
+	CampaignVariant = study.Variant
 	// CampaignGroup labels runs for per-variant grouped aggregation.
-	CampaignGroup = scenario.GroupFunc
+	CampaignGroup = study.GroupFunc
 	// CampaignGroupSummary is one group's aggregate.
-	CampaignGroupSummary = scenario.GroupSummary
+	CampaignGroupSummary = study.GroupSummary
 )
+
+// Study types: the declarative cross-scenario experiment surface. A
+// Study crosses a base Scenario over typed axes (storage, weather,
+// controller parameters, workload, arbitrary setters) into a
+// deterministic matrix of labelled cells, each a seed-range of
+// Monte-Carlo repetitions — with first-class sharding (RunShard),
+// serialisable checkpoints and bit-identical aggregation at any worker
+// or shard count.
+type (
+	// Study is a declarative cross-scenario experiment matrix.
+	Study = study.Study
+	// StudyAxis is one dimension of a study matrix.
+	StudyAxis = study.Axis
+	// StudyLevel is one labelled value of an axis.
+	StudyLevel = study.Level
+	// StudySeedMode selects how per-run seeds derive from the study seed.
+	StudySeedMode = study.SeedMode
+	// StudyOutcome is a completed study matrix: per-cell aggregates,
+	// per-axis marginals and the overall summary, all with quantile
+	// bands.
+	StudyOutcome = study.StudyOutcome
+	// StudyCell identifies one matrix point.
+	StudyCell = study.Cell
+	// StudyCellOutcome is one cell's aggregate.
+	StudyCellOutcome = study.CellOutcome
+	// StudyMarginal is one axis level's aggregate across all other axes.
+	StudyMarginal = study.Marginal
+	// StudyCheckpoint is the serialisable state of a sharded, resumed or
+	// interrupted study.
+	StudyCheckpoint = study.Checkpoint
+	// StudyTaskRange is a half-open span of ledger task indices.
+	StudyTaskRange = study.TaskRange
+	// StudyRunMetrics are the scalar outcomes of one study run.
+	StudyRunMetrics = study.RunMetrics
+	// StudyQuantileBand is a five-point dwell-time quantile summary.
+	StudyQuantileBand = study.QuantileBand
+)
+
+// Seed-derivation modes for studies.
+const (
+	// SeedPerTask gives every cell × repetition its own decorrelated
+	// seed (independent realisations; the default).
+	SeedPerTask = study.SeedPerTask
+	// SeedPerRep reuses one seed per repetition across all cells
+	// (common random numbers: paired cross-cell comparisons).
+	SeedPerRep = study.SeedPerRep
+	// SeedShared passes the study seed verbatim to every run (the
+	// parameter-sweep convention).
+	SeedShared = study.SeedShared
+)
+
+// NewStudyAxis builds a study axis from labelled levels.
+func NewStudyAxis(name string, levels ...StudyLevel) StudyAxis {
+	return study.NewAxis(name, levels...)
+}
+
+// StudyStorage builds an axis level selecting a storage model.
+func StudyStorage(label string, st Storage) StudyLevel { return study.Storage(label, st) }
+
+// StudyProfile builds an axis level selecting an irradiance profile.
+func StudyProfile(label string, p scenario.ProfileFunc) StudyLevel {
+	return study.Profile(label, p)
+}
+
+// StudyIrradiance builds an axis level from an already-realised
+// profile whose irradiance does not depend on the seed.
+func StudyIrradiance(label string, p IrradianceProfile) StudyLevel {
+	return study.FixedProfile(label, p)
+}
+
+// StudyParams builds an axis level running the power-neutral controller
+// with the given parameters.
+func StudyParams(label string, p ControllerParams) StudyLevel { return study.Params(label, p) }
+
+// StudyControl builds an axis level selecting an arbitrary control
+// scheme.
+func StudyControl(label string, c ScenarioControl) StudyLevel { return study.Control(label, c) }
+
+// StudyGovernor builds an axis level running the named Linux cpufreq
+// baseline.
+func StudyGovernor(name string) StudyLevel { return study.Governor(name) }
+
+// StudyPowerNeutral builds the "power-neutral" anchor level of a
+// control axis: the paper's controller with its published defaults.
+func StudyPowerNeutral() StudyLevel { return study.PowerNeutral() }
+
+// StudyUtilisation builds an axis level setting the offered workload
+// load in [0, 1].
+func StudyUtilisation(u float64) StudyLevel { return study.Utilisation(u) }
+
+// StudySetter builds an axis level from an arbitrary scenario mutation.
+func StudySetter(label string, apply func(s *Scenario)) StudyLevel {
+	return study.Setter(label, apply)
+}
+
+// MergeStudyCheckpoints unions shard checkpoints into one; feed the
+// result to Study.Outcome once complete.
+func MergeStudyCheckpoints(cps ...*StudyCheckpoint) (*StudyCheckpoint, error) {
+	return study.MergeCheckpoints(cps...)
+}
+
+// ReadStudyCheckpoint deserialises a checkpoint written by
+// StudyCheckpoint.WriteJSON.
+func ReadStudyCheckpoint(r io.Reader) (*StudyCheckpoint, error) {
+	return study.ReadCheckpoint(r)
+}
 
 // RegisterScenario adds a named scenario to the shared registry.
 func RegisterScenario(s Scenario) error { return scenario.Register(s) }

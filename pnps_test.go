@@ -2,6 +2,7 @@ package pnps
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -91,6 +92,108 @@ func TestFacadeExperiments(t *testing.T) {
 	}
 	if _, err := RunExperiment("missing", 1); err == nil {
 		t.Error("unknown id accepted")
+	}
+}
+
+// TestFacadeScenarioErrors pins the facade's error paths: unknown
+// scenario names surface as UnknownScenarioError (matchable with
+// errors.As), a bad governor name fails at run time with the offending
+// name in the message, and an inverted capacitance bracket is rejected
+// before any simulation runs.
+func TestFacadeScenarioErrors(t *testing.T) {
+	_, err := RunScenario("no-such-scenario", 1)
+	if err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	var unknown *UnknownScenarioError
+	if !errors.As(err, &unknown) {
+		t.Fatalf("error %T %v, want *UnknownScenarioError", err, err)
+	}
+	if unknown.Name != "no-such-scenario" {
+		t.Errorf("UnknownScenarioError.Name = %q", unknown.Name)
+	}
+	if !strings.Contains(err.Error(), "no-such-scenario") {
+		t.Errorf("error %q does not name the missing scenario", err)
+	}
+
+	sc, ok := LookupScenario("steady-sun")
+	if !ok {
+		t.Fatal("steady-sun missing")
+	}
+	sc.Control = GovernedBy("no-such-governor")
+	if _, err := sc.Run(1); err == nil ||
+		!strings.Contains(err.Error(), "no-such-governor") {
+		t.Errorf("bad governor error = %v, want it to name the governor", err)
+	}
+
+	mk := func(farads float64) Storage { return IdealCapacitor{Farads: farads} }
+	sc, _ = LookupScenario("steady-sun")
+	if _, err := MinScenarioCapacitance(sc, 1, mk, 1e-1, 1e-3, 0.05); err == nil ||
+		!strings.Contains(err.Error(), "bracket") {
+		t.Errorf("inverted [lo, hi] error = %v, want bracket rejection", err)
+	}
+}
+
+// TestFacadeStudy drives a small matrix through the public Study
+// surface: typed axes, paired seeds, cells, marginals and checkpoint
+// sharding all reachable without importing internals.
+func TestFacadeStudy(t *testing.T) {
+	base, ok := LookupScenario("stress-clouds")
+	if !ok {
+		t.Fatal("stress-clouds missing")
+	}
+	base.Duration = 10
+	st := Study{
+		Base: base,
+		Axes: []StudyAxis{
+			NewStudyAxis("storage",
+				StudyStorage("ideal", IdealCapacitor{Farads: 47e-3}),
+				StudyStorage("hybrid", HybridBuffer{
+					NodeFarads: 10e-3, ReservoirFarads: 1,
+					DiodeDropVolts: 0.35, DiodeOhms: 0.2,
+					ChargeOhms: 10, LeakOhms: 20000,
+				})),
+			NewStudyAxis("control", StudyPowerNeutral(), StudyGovernor("ondemand")),
+		},
+		Reps: 2, Seed: 7, SeedMode: SeedPerRep,
+	}
+	out, err := st.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Cells) != 4 || out.Summary.Runs != 8 {
+		t.Fatalf("matrix shape: %d cells, %d runs", len(out.Cells), out.Summary.Runs)
+	}
+	if len(out.Marginals) != 4 {
+		t.Fatalf("%d marginals", len(out.Marginals))
+	}
+
+	a, err := st.RunShard(context.Background(), 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := st.RunShard(context.Background(), 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := MergeStudyCheckpoints(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := merged.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadStudyCheckpoint(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Outcome(restored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Summary != out.Summary {
+		t.Fatalf("sharded facade study diverged:\n%+v\nvs\n%+v", got.Summary, out.Summary)
 	}
 }
 
