@@ -1,0 +1,150 @@
+// Command pncoord coordinates a distributed study: it serves the study
+// matrix to any number of `pnstudy -worker` processes, leases ledger
+// chunks to them over HTTP, folds their checkpoints in canonical ledger
+// order as they land, re-leases the chunks of workers that die, and
+// prints the final aggregate — bit-identical to what one machine
+// running the whole study would have produced.
+//
+// Usage:
+//
+//	pncoord -addr :8080 -scenario stress-clouds -storage ideal:0.047,supercap:0.047 -util 1,0.6 -reps 256
+//	pnstudy -worker http://host:8080        # on each machine, as many as you like
+//
+// The matrix flags are the same study-identity flags pnstudy takes;
+// workers fetch them as a recipe from the coordinator, rebuild the
+// study locally and refuse to run unless their fingerprint matches —
+// version or flag skew between machines is caught before any chunk
+// executes, not after results are polluted.
+//
+// Progress streams to stderr as chunks land, including live per-axis
+// marginals. A chunk whose lease expires (dead or straggling worker)
+// is re-leased with backoff; a chunk failing -max-attempts leases
+// fails the whole study rather than silently dropping tasks.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"pnps/internal/coord"
+	"pnps/internal/studycli"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "HTTP listen address")
+		scn      = flag.String("scenario", "stress-clouds", "registered base scenario")
+		duration = flag.Float64("duration", 0, "override scenario duration, seconds (0 keeps the registered value)")
+		storage  = flag.String("storage", "", "storage axis: ideal:F,supercap:F,hybrid:F:R")
+		control  = flag.String("control", "", "control axis: pn, static, or governor names")
+		util     = flag.String("util", "", "workload axis: utilisations in [0,1]")
+		reps     = flag.Int("reps", 4, "Monte-Carlo repetitions per cell")
+		seed     = flag.Int64("seed", 2017, "study base seed")
+		paired   = flag.Bool("paired", false, "common random numbers: one realisation per repetition across all cells")
+		bins     = flag.Int("bins", 250, "dwell-time voltage histogram bins (0 disables)")
+		histLo   = flag.Float64("histlo", 0, "dwell histogram lower bound, volts")
+		histHi   = flag.Float64("histhi", 10, "dwell histogram upper bound, volts")
+		chunk    = flag.Int("chunk", 64, "lease granularity, ledger tasks per chunk")
+		leaseTTL = flag.Duration("lease-ttl", 2*time.Minute, "lease time-to-live before a chunk is re-leased")
+		attempts = flag.Int("max-attempts", 5, "lease attempts per chunk before the study fails")
+		backoff  = flag.Duration("backoff", time.Second, "re-lease backoff per prior attempt")
+		verbose  = flag.Bool("v", false, "log lease lifecycle events")
+		cellsCSV = flag.String("cells-csv", "", "write per-cell aggregates as CSV to this file")
+		runsCSV  = flag.String("runs-csv", "", "write per-run outcomes as CSV to this file")
+		jsonOut  = flag.String("json", "", "write the full aggregate as JSON to this file")
+	)
+	flag.Parse()
+
+	recipe := studycli.Config{
+		Scenario: *scn, Duration: *duration,
+		Storage: *storage, Control: *control, Util: *util,
+		Reps: *reps, Seed: *seed, Paired: *paired,
+		Bins: *bins, HistLo: *histLo, HistHi: *histHi,
+	}
+	st, err := recipe.Build()
+	if err != nil {
+		fatal(err)
+	}
+	rawRecipe, err := json.Marshal(recipe)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := coord.Config{
+		Study: st, Recipe: rawRecipe,
+		ChunkSize: *chunk, LeaseTTL: *leaseTTL,
+		MaxAttempts: *attempts, Backoff: *backoff,
+		OnChunk: printChunkStatus,
+	}
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	srv, err := coord.NewServer(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	info := srv.Info()
+	fmt.Fprintf(os.Stderr, "pncoord: study %s — %d tasks in %d chunks of %d, serving on %s\n",
+		info.Name, info.TotalTasks, info.NumChunks, info.ChunkSize, ln.Addr())
+	fmt.Fprintf(os.Stderr, "pncoord: join with: pnstudy -worker http://<this-host>%s\n", *addr)
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fatal(err)
+		}
+	}()
+
+	<-srv.Done()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = httpSrv.Shutdown(shutdownCtx)
+
+	out, err := srv.Outcome()
+	if err != nil {
+		fatal(err)
+	}
+	studycli.PrintOutcome(os.Stdout, st, out)
+	if *cellsCSV != "" {
+		err = studycli.WriteFileAtomic(*cellsCSV, out.WriteCellsCSV)
+	}
+	if err == nil && *runsCSV != "" {
+		err = studycli.WriteFileAtomic(*runsCSV, out.WriteRunsCSV)
+	}
+	if err == nil && *jsonOut != "" {
+		err = studycli.WriteFileAtomic(*jsonOut, out.WriteJSON)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+// printChunkStatus streams fold progress with the live survival
+// marginals — the headline number of the study, watchable while the
+// fleet works.
+func printChunkStatus(s coord.Status) {
+	fmt.Fprintf(os.Stderr, "pncoord: %d/%d chunks folded (%d/%d tasks, %d leased)",
+		s.DoneChunks, s.TotalChunks, s.FoldedTasks, s.TotalTasks, s.LeasedChunks)
+	for _, m := range s.Marginals {
+		fmt.Fprintf(os.Stderr, "  %s=%s %.0f%%", m.Axis, m.Level, m.Summary.SurvivalRate*100)
+	}
+	fmt.Fprintln(os.Stderr)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pncoord:", err)
+	os.Exit(1)
+}

@@ -2,7 +2,7 @@
 // registered base scenario crossed over storage, control and workload
 // axes, each cell a seed-range of Monte-Carlo repetitions, with
 // bit-identical aggregation at any worker count — and first-class
-// sharding and resume for campaign-scale distributed execution.
+// sharding, resume and coordinated distributed execution.
 //
 // Usage:
 //
@@ -10,6 +10,7 @@
 //	pnstudy -shard i/n -checkpoint shard-i.json ...
 //	pnstudy -resume ck.json ...
 //	pnstudy -merge shard-0.json,shard-1.json,... ...
+//	pnstudy -worker http://coordinator:8080
 //	pnstudy -list
 //
 // The matrix flags (everything except -workers and -progress) define
@@ -18,6 +19,12 @@
 // with a different matrix. Worker counts, shard counts and
 // interruption points never change the result: the merged outcome is
 // bit-identical to a single unsharded run.
+//
+// -worker joins a pncoord coordinator instead: the study definition is
+// fetched from the coordinator (no matrix flags needed), rebuilt
+// locally, fingerprint-checked, and executed chunk by chunk until the
+// study completes. Any number of workers may join and leave; the
+// coordinator re-leases the chunks of workers that die.
 //
 // Axes (each optional; omitting all of them runs a plain Monte-Carlo
 // campaign of the base scenario):
@@ -40,19 +47,18 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"runtime"
 	"strconv"
 	"strings"
 
-	"pnps/internal/buffer"
+	"pnps/internal/coord"
 	"pnps/internal/scenario"
-	"pnps/internal/sim"
-	"pnps/internal/soc"
 	"pnps/internal/study"
+	"pnps/internal/studycli"
 )
 
 func main() {
@@ -74,6 +80,8 @@ func main() {
 		ckpt     = flag.String("checkpoint", "", "checkpoint file to write (-shard) ")
 		resume   = flag.String("resume", "", "checkpoint file to complete in place")
 		merge    = flag.String("merge", "", "comma-separated shard checkpoints to merge")
+		workerAt = flag.String("worker", "", "join the pncoord coordinator at this URL (matrix flags come from the coordinator)")
+		name     = flag.String("name", "", "worker name reported to the coordinator (-worker; default host-pid)")
 		cellsCSV = flag.String("cells-csv", "", "write per-cell aggregates as CSV to this file")
 		runsCSV  = flag.String("runs-csv", "", "write per-run outcomes as CSV to this file")
 		jsonOut  = flag.String("json", "", "write the full aggregate as JSON to this file")
@@ -88,12 +96,20 @@ func main() {
 		return
 	}
 
-	st, err := buildStudy(studyFlags{
+	ctx := context.Background()
+	if *workerAt != "" {
+		if err := runWorker(ctx, *workerAt, *name, *workers); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	st, err := studycli.Config{
 		Scenario: *scn, Duration: *duration,
 		Storage: *storage, Control: *control, Util: *util,
 		Reps: *reps, Seed: *seed, Paired: *paired,
 		Bins: *bins, HistLo: *histLo, HistHi: *histHi,
-	})
+	}.Build()
 	if err != nil {
 		fatal(err)
 	}
@@ -107,7 +123,6 @@ func main() {
 		}
 	}
 
-	ctx := context.Background()
 	var out *study.StudyOutcome
 	switch {
 	case *merge != "":
@@ -126,155 +141,39 @@ func main() {
 		return // shard mode: checkpoint written, nothing to aggregate yet
 	}
 
-	printOutcome(st, out)
+	studycli.PrintOutcome(os.Stdout, st, out)
 	if *cellsCSV != "" {
-		err = writeFile(*cellsCSV, out.WriteCellsCSV)
+		err = studycli.WriteFileAtomic(*cellsCSV, out.WriteCellsCSV)
 	}
 	if err == nil && *runsCSV != "" {
-		err = writeFile(*runsCSV, out.WriteRunsCSV)
+		err = studycli.WriteFileAtomic(*runsCSV, out.WriteRunsCSV)
 	}
 	if err == nil && *jsonOut != "" {
-		err = writeFile(*jsonOut, out.WriteJSON)
+		err = studycli.WriteFileAtomic(*jsonOut, out.WriteJSON)
 	}
 	if err != nil {
 		fatal(err)
 	}
 }
 
-// studyFlags is the study-identity subset of the CLI flags.
-type studyFlags struct {
-	Scenario       string
-	Duration       float64
-	Storage        string
-	Control        string
-	Util           string
-	Reps           int
-	Seed           int64
-	Paired         bool
-	Bins           int
-	HistLo, HistHi float64
-}
-
-// buildStudy assembles the study from the identity flags; the same
-// flags always build the same fingerprint, which is what lets separate
-// shard/resume/merge invocations cooperate.
-func buildStudy(f studyFlags) (study.Study, error) {
-	base, ok := scenario.Lookup(f.Scenario)
-	if !ok {
-		return study.Study{}, fmt.Errorf("unknown scenario %q (known: %v)", f.Scenario, scenario.Names())
-	}
-	if f.Duration > 0 {
-		base.Duration = f.Duration
-	}
-	st := study.Study{
-		Name: "pnstudy-" + f.Scenario, Base: base,
-		Reps: f.Reps, Seed: f.Seed,
-		VCHistBins: f.Bins, VCHistLo: f.HistLo, VCHistHi: f.HistHi,
-	}
-	if f.Paired {
-		st.SeedMode = study.SeedPerRep
-	}
-	if f.Storage != "" {
-		ax, err := parseStorageAxis(f.Storage)
-		if err != nil {
-			return study.Study{}, err
-		}
-		st.Axes = append(st.Axes, ax)
-	}
-	if f.Control != "" {
-		st.Axes = append(st.Axes, parseControlAxis(f.Control))
-	}
-	if f.Util != "" {
-		ax, err := parseUtilAxis(f.Util)
-		if err != nil {
-			return study.Study{}, err
-		}
-		st.Axes = append(st.Axes, ax)
-	}
-	return st, nil
-}
-
-// parseStorageAxis parses "ideal:0.047,supercap:0.047,hybrid:0.01:1"
-// into a storage axis; the spec strings are the level labels.
-func parseStorageAxis(s string) (study.Axis, error) {
-	var levels []study.Level
-	for _, spec := range strings.Split(s, ",") {
-		spec = strings.TrimSpace(spec)
-		parts := strings.Split(spec, ":")
-		farads := func(i int) (float64, error) {
-			if i >= len(parts) {
-				return 0, fmt.Errorf("storage spec %q: missing capacitance", spec)
+// runWorker joins a coordinator: the study identity travels as a
+// studycli.Config recipe, is rebuilt locally and fingerprint-verified
+// before any chunk executes.
+func runWorker(ctx context.Context, url, name string, workers int) error {
+	w := &coord.Worker{
+		URL: url, Name: name, Workers: workers,
+		BuildStudy: func(recipe json.RawMessage) (study.Study, error) {
+			var c studycli.Config
+			if err := json.Unmarshal(recipe, &c); err != nil {
+				return study.Study{}, fmt.Errorf("undecodable study recipe: %w", err)
 			}
-			v, err := strconv.ParseFloat(parts[i], 64)
-			if err != nil || v <= 0 {
-				return 0, fmt.Errorf("storage spec %q: bad capacitance %q", spec, parts[i])
-			}
-			return v, nil
-		}
-		switch parts[0] {
-		case "ideal":
-			fd, err := farads(1)
-			if err != nil {
-				return study.Axis{}, err
-			}
-			levels = append(levels, study.Storage(spec, sim.IdealCap{Farads: fd}))
-		case "supercap":
-			fd, err := farads(1)
-			if err != nil {
-				return study.Axis{}, err
-			}
-			levels = append(levels, study.Storage(spec, sim.NewSupercap(buffer.Supercap{
-				Farads: fd, ESROhms: 0.05, LeakOhms: 5000, VMax: soc.MaxOperatingVolts,
-			})))
-		case "hybrid":
-			fd, err := farads(1)
-			if err != nil {
-				return study.Axis{}, err
-			}
-			res, err := farads(2)
-			if err != nil {
-				return study.Axis{}, err
-			}
-			levels = append(levels, study.Storage(spec, sim.HybridCap{
-				NodeFarads: fd, ReservoirFarads: res,
-				DiodeDropVolts: 0.35, DiodeOhms: 0.2,
-				ChargeOhms: 10, LeakOhms: 20000,
-			}))
-		default:
-			return study.Axis{}, fmt.Errorf("storage spec %q: unknown family %q (ideal, supercap, hybrid)", spec, parts[0])
-		}
+			return c.Build()
+		},
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "pnstudy: "+format+"\n", args...)
+		},
 	}
-	return study.NewAxis("storage", levels...), nil
-}
-
-// parseControlAxis parses "pn,static,ondemand" into a control axis;
-// governor names are validated at assembly time, not here.
-func parseControlAxis(s string) study.Axis {
-	var levels []study.Level
-	for _, name := range strings.Split(s, ",") {
-		switch name = strings.TrimSpace(name); name {
-		case "pn", "power-neutral":
-			levels = append(levels, study.PowerNeutral())
-		case "static":
-			levels = append(levels, study.Control("static", scenario.Uncontrolled()))
-		default:
-			levels = append(levels, study.Governor(name))
-		}
-	}
-	return study.NewAxis("control", levels...)
-}
-
-// parseUtilAxis parses "1,0.6,0.3" into a workload axis.
-func parseUtilAxis(s string) (study.Axis, error) {
-	var levels []study.Level
-	for _, part := range strings.Split(s, ",") {
-		u, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
-		if err != nil || u < 0 || u > 1 {
-			return study.Axis{}, fmt.Errorf("bad utilisation %q (want [0,1])", part)
-		}
-		levels = append(levels, study.Utilisation(u))
-	}
-	return study.NewAxis("load", levels...), nil
+	return w.Run(ctx)
 }
 
 // parseShard parses "i/n".
@@ -305,7 +204,7 @@ func runShard(ctx context.Context, st study.Study, shard, ckpt string) error {
 	if err != nil {
 		return err
 	}
-	if err := writeFile(ckpt, cp.WriteJSON); err != nil {
+	if err := studycli.WriteFileAtomic(ckpt, cp.WriteJSON); err != nil {
 		return err
 	}
 	fmt.Printf("shard %d/%d: %d of %d tasks done, checkpoint %s\n",
@@ -324,7 +223,7 @@ func resumeOutcome(ctx context.Context, st study.Study, path string) (*study.Stu
 	if err != nil {
 		return nil, err
 	}
-	if err := writeFile(path, full.WriteJSON); err != nil {
+	if err := studycli.WriteFileAtomic(path, full.WriteJSON); err != nil {
 		return nil, err
 	}
 	return st.Outcome(full)
@@ -359,74 +258,6 @@ func readCheckpoint(path string) (*study.Checkpoint, error) {
 	}
 	defer f.Close()
 	return study.ReadCheckpoint(f)
-}
-
-// writeFile writes atomically (temp file + rename): a crash or
-// disk-full mid-write must never truncate an existing checkpoint —
-// losing completed work is the exact failure the resumable ledger
-// exists to survive.
-func writeFile(path string, write func(w io.Writer) error) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := write(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
-}
-
-// printOutcome renders the per-cell table, the per-axis marginals and
-// the overall aggregate.
-func printOutcome(st study.Study, out *study.StudyOutcome) {
-	fmt.Printf("study %s: %d cells × %d reps = %d runs (seed %d)\n\n",
-		st.Name, len(out.Cells), st.Reps, out.Summary.Runs, st.Seed)
-	keyWidth := len("cell")
-	for _, c := range out.Cells {
-		if len(c.Cell.Key) > keyWidth {
-			keyWidth = len(c.Cell.Key)
-		}
-	}
-	fmt.Printf("%-*s  %-9s %-9s %-22s %-11s %s\n", keyWidth, "cell",
-		"survival", "brownouts", "within ±5% (P25..P75)", "mean instr", "dwell med")
-	for _, c := range out.Cells {
-		s := c.Summary
-		key := c.Cell.Key
-		if key == "" {
-			key = "(all)"
-		}
-		dwell := "-"
-		if c.DwellVC != nil {
-			dwell = fmt.Sprintf("%.3f V", c.DwellVC.Median)
-		}
-		fmt.Printf("%-*s  %6.1f%%  %-9d %5.1f%% (%4.1f..%4.1f%%)     %7.2f G   %s\n",
-			keyWidth, key, s.SurvivalRate*100, s.TotalBrownouts,
-			s.Stability.Mean*100, s.Stability.P25*100, s.Stability.P75*100,
-			s.Instructions.Mean/1e9, dwell)
-	}
-	if len(out.Marginals) > 0 {
-		fmt.Println("\nmarginals (each level aggregated across all other axes):")
-		for _, m := range out.Marginals {
-			s := m.Summary
-			fmt.Printf("  %-10s %-22s survival %5.1f%%  within ±5%% %5.1f%%  instr %7.2f G\n",
-				m.Axis, m.Level, s.SurvivalRate*100, s.Stability.Mean*100, s.Instructions.Mean/1e9)
-		}
-	}
-	s := out.Summary
-	fmt.Printf("\noverall: survival %.1f%%, within ±5%% mean %.1f%% (P5 %.1f%%, median %.1f%%, P95 %.1f%%)\n",
-		s.SurvivalRate*100, s.Stability.Mean*100,
-		s.Stability.P5*100, s.Stability.Median*100, s.Stability.P95*100)
-	if out.DwellVC != nil {
-		fmt.Printf("supply dwell: median %.3f V (P25..P75 %.3f..%.3f V) over %.0f run-seconds\n",
-			out.DwellVC.Median, out.DwellVC.P25, out.DwellVC.P75, out.VCHistogram.Total())
-	}
 }
 
 func fatal(err error) {

@@ -1,12 +1,6 @@
 package main
 
-import (
-	"context"
-	"strings"
-	"testing"
-
-	"pnps/internal/study"
-)
+import "testing"
 
 func TestParseShard(t *testing.T) {
 	i, n, err := parseShard("2/5")
@@ -17,87 +11,5 @@ func TestParseShard(t *testing.T) {
 		if _, _, err := parseShard(bad); err == nil {
 			t.Errorf("parseShard(%q) accepted", bad)
 		}
-	}
-}
-
-func TestParseStorageAxis(t *testing.T) {
-	ax, err := parseStorageAxis("ideal:0.047,supercap:0.1,hybrid:0.01:1")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if ax.Name != "storage" || len(ax.Levels) != 3 {
-		t.Fatalf("axis %q with %d levels", ax.Name, len(ax.Levels))
-	}
-	if ax.Levels[2].Label != "hybrid:0.01:1" {
-		t.Errorf("level label %q", ax.Levels[2].Label)
-	}
-	for _, bad := range []string{"ideal", "ideal:zero", "ideal:-1", "flywheel:1", "hybrid:0.01"} {
-		if _, err := parseStorageAxis(bad); err == nil {
-			t.Errorf("parseStorageAxis(%q) accepted", bad)
-		}
-	}
-}
-
-func TestParseControlAxis(t *testing.T) {
-	ax := parseControlAxis("pn,static,ondemand")
-	if len(ax.Levels) != 3 {
-		t.Fatalf("%d levels", len(ax.Levels))
-	}
-	want := []string{"power-neutral", "static", "ondemand"}
-	for i, lv := range ax.Levels {
-		if lv.Label != want[i] {
-			t.Errorf("level %d label %q, want %q", i, lv.Label, want[i])
-		}
-	}
-}
-
-func TestParseUtilAxis(t *testing.T) {
-	ax, err := parseUtilAxis("1, 0.5")
-	if err != nil || len(ax.Levels) != 2 {
-		t.Fatalf("parseUtilAxis = %+v, %v", ax, err)
-	}
-	for _, bad := range []string{"2", "-0.1", "x"} {
-		if _, err := parseUtilAxis(bad); err == nil {
-			t.Errorf("parseUtilAxis(%q) accepted", bad)
-		}
-	}
-}
-
-// TestBuildStudyFingerprintStable: the same identity flags build the
-// same study twice — the property shard/resume/merge cooperation
-// relies on.
-func TestBuildStudyFingerprintStable(t *testing.T) {
-	f := studyFlags{
-		Scenario: "stress-clouds", Duration: 10,
-		Storage: "ideal:0.047,hybrid:0.01:1", Control: "pn,ondemand",
-		Reps: 2, Seed: 7, Paired: true, Bins: 32, HistLo: 4, HistHi: 6,
-	}
-	a, err := buildStudy(f)
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := buildStudy(f)
-	if err != nil {
-		t.Fatal(err)
-	}
-	cpA, err := a.RunShard(context.Background(), 0, 4)
-	if err != nil {
-		t.Fatal(err)
-	}
-	cpB, err := b.RunShard(context.Background(), 1, 4)
-	if err != nil {
-		t.Fatal(err)
-	}
-	merged, err := study.MergeCheckpoints(cpA, cpB)
-	if err != nil {
-		t.Fatalf("checkpoints from identical flags refused to merge: %v", err)
-	}
-	if merged.Complete() {
-		t.Fatal("two shards of four cannot be complete")
-	}
-
-	if _, err := buildStudy(studyFlags{Scenario: "no-such"}); err == nil ||
-		!strings.Contains(err.Error(), "unknown scenario") {
-		t.Errorf("unknown scenario error = %v", err)
 	}
 }

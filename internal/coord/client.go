@@ -1,0 +1,225 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"pnps/internal/study"
+)
+
+// Worker is the client side of the coordinator protocol: the loop
+// behind `pnstudy -worker <url>`. It fetches the coordinator's study
+// recipe, rebuilds the study locally, refuses to run if the local
+// fingerprint disagrees with the coordinator's (flag or code skew
+// between machines), then leases chunks, executes them with
+// Study.RunChunk and submits the checkpoints until the study is done.
+type Worker struct {
+	// URL is the coordinator's base URL (e.g. http://host:9old77).
+	URL string
+	// Name identifies the worker in leases and logs (default host:pid).
+	Name string
+	// BuildStudy rebuilds the study from the coordinator's recipe —
+	// typically studycli.Config via json.Unmarshal + Build.
+	BuildStudy func(recipe json.RawMessage) (study.Study, error)
+	// Workers bounds per-chunk run concurrency (0 keeps the study's
+	// setting, which defaults to GOMAXPROCS).
+	Workers int
+	// HTTP overrides the transport (default http.DefaultClient).
+	HTTP *http.Client
+	// Logf, when non-nil, receives progress diagnostics.
+	Logf func(format string, args ...any)
+	// MaxChunks, when positive, exits cleanly after that many accepted
+	// submissions — bounded-budget workers, and the lever integration
+	// tests use to make a worker disappear mid-study.
+	MaxChunks int
+
+	// retryBackoff paces transport-level retries (default 500ms).
+	retryBackoff time.Duration
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Logf != nil {
+		w.Logf(format, args...)
+	}
+}
+
+func (w *Worker) client() *http.Client {
+	if w.HTTP != nil {
+		return w.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (w *Worker) name() string {
+	if w.Name != "" {
+		return w.Name
+	}
+	host, _ := os.Hostname()
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
+}
+
+// Run executes the worker loop until the coordinator reports the study
+// done, ctx is cancelled, or a local failure makes progress impossible.
+// A nil error means the study finished (or this worker cleanly hit its
+// MaxChunks budget); the coordinator holds the outcome either way.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.BuildStudy == nil {
+		return fmt.Errorf("coord: worker needs a BuildStudy hook")
+	}
+	var info StudyInfo
+	if _, err := w.doJSON(ctx, http.MethodGet, "/v1/study", nil, &info); err != nil {
+		return fmt.Errorf("coord: fetching study: %w", err)
+	}
+	st, err := w.BuildStudy(info.Recipe)
+	if err != nil {
+		return fmt.Errorf("coord: building study from recipe: %w", err)
+	}
+	if w.Workers > 0 {
+		st.Workers = w.Workers
+	}
+	st.OnProgress = nil
+	fp, err := st.Fingerprint()
+	if err != nil {
+		return fmt.Errorf("coord: local study invalid: %w", err)
+	}
+	if !fp.Equal(info.Fingerprint) {
+		return fmt.Errorf("coord: local study fingerprint disagrees with coordinator %s — flag or code skew between machines", w.URL)
+	}
+	w.logf("worker %s: joined study %s (%d tasks in %d chunks)",
+		w.name(), info.Name, info.TotalTasks, info.NumChunks)
+
+	accepted := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var lease Lease
+		if _, err := w.doJSON(ctx, http.MethodPost, "/v1/lease", LeaseRequest{Worker: w.name()}, &lease); err != nil {
+			return fmt.Errorf("coord: leasing: %w", err)
+		}
+		switch {
+		case lease.Done && lease.Failed != "":
+			return fmt.Errorf("coord: study failed: %s", lease.Failed)
+		case lease.Done:
+			w.logf("worker %s: study complete", w.name())
+			return nil
+		case !lease.Granted:
+			wait := time.Duration(lease.RetryAfterMS) * time.Millisecond
+			if wait <= 0 {
+				wait = 500 * time.Millisecond
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(wait):
+			}
+			continue
+		}
+
+		w.logf("worker %s: running chunk %d %v (attempt %d)", w.name(), lease.Chunk, lease.Range, lease.Attempt)
+		cp, err := st.RunChunk(ctx, lease.Range)
+		if err != nil {
+			// A failing simulation is not retryable here — drop the lease
+			// (it expires server-side) and surface the error locally.
+			return fmt.Errorf("coord: chunk %d: %w", lease.Chunk, err)
+		}
+		ok, err := w.submitChunk(ctx, lease, cp)
+		if err != nil {
+			return err
+		}
+		if ok {
+			accepted++
+			if w.MaxChunks > 0 && accepted >= w.MaxChunks {
+				w.logf("worker %s: chunk budget %d reached, exiting", w.name(), w.MaxChunks)
+				return nil
+			}
+		}
+	}
+}
+
+// submitChunk delivers one checkpoint. Lease races (409) are benign —
+// someone else completed the chunk — and return (false, nil); rejected
+// checkpoints (422) are a real fault and error out.
+func (w *Worker) submitChunk(ctx context.Context, lease Lease, cp *study.Checkpoint) (bool, error) {
+	var buf bytes.Buffer
+	if err := cp.WriteJSON(&buf); err != nil {
+		return false, fmt.Errorf("coord: serialising chunk %d: %w", lease.Chunk, err)
+	}
+	sub := Submission{
+		Worker: w.name(), Chunk: lease.Chunk, LeaseID: lease.LeaseID,
+		Checkpoint: json.RawMessage(buf.Bytes()),
+	}
+	var res SubmitResult
+	code, err := w.doJSON(ctx, http.MethodPost, "/v1/chunks", sub, &res)
+	switch {
+	case err != nil:
+		return false, fmt.Errorf("coord: submitting chunk %d: %w", lease.Chunk, err)
+	case code == http.StatusConflict:
+		w.logf("worker %s: chunk %d submission superseded (%s) — moving on", w.name(), lease.Chunk, res.Error)
+		return false, nil
+	case code != http.StatusOK || !res.Accepted:
+		return false, fmt.Errorf("coord: chunk %d rejected (HTTP %d): %s", lease.Chunk, code, res.Error)
+	}
+	w.logf("worker %s: chunk %d accepted", w.name(), lease.Chunk)
+	return true, nil
+}
+
+// doJSON performs one JSON request with transport-level retries —
+// transient network failures must not kill a worker mid-study. HTTP
+// error statuses are returned to the caller, not retried: the
+// coordinator's answers are deterministic.
+func (w *Worker) doJSON(ctx context.Context, method, path string, in, out any) (int, error) {
+	backoff := w.retryBackoff
+	if backoff <= 0 {
+		backoff = 500 * time.Millisecond
+	}
+	var lastErr error
+	for attempt := 0; attempt < 5; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-time.After(time.Duration(attempt) * backoff):
+			}
+		}
+		var body io.Reader
+		if in != nil {
+			b, err := json.Marshal(in)
+			if err != nil {
+				return 0, err
+			}
+			body = bytes.NewReader(b)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, w.URL+path, body)
+		if err != nil {
+			return 0, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := w.client().Do(req)
+		if err != nil {
+			lastErr = err
+			w.logf("worker %s: %s %s failed (attempt %d): %v", w.name(), method, path, attempt+1, err)
+			continue
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if out != nil && len(data) > 0 {
+			if err := json.Unmarshal(data, out); err != nil {
+				// Non-JSON error bodies (http.Error) surface as-is.
+				return resp.StatusCode, fmt.Errorf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+			}
+		}
+		return resp.StatusCode, nil
+	}
+	return 0, fmt.Errorf("after 5 attempts: %w", lastErr)
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 
 	"pnps/internal/scenario"
@@ -62,6 +63,11 @@ type AxisDigest struct {
 	Levels []string `json:"levels"`
 }
 
+// Equal reports whether two fingerprints identify the same study —
+// what a worker checks against a coordinator before leasing work, and
+// what every checkpoint consumer checks before aggregating.
+func (f Fingerprint) Equal(other Fingerprint) bool { return f.equal(other) }
+
 // equal compares fingerprints structurally.
 func (f Fingerprint) equal(other Fingerprint) bool {
 	if f.Name != other.Name || f.Base != other.Base ||
@@ -85,6 +91,18 @@ func (f Fingerprint) equal(other Fingerprint) bool {
 	return true
 }
 
+// Fingerprint validates the study and returns its serialisable
+// identity — what the coordinator publishes and workers verify before
+// leasing work, so flag or code skew between machines is caught before
+// any simulation runs rather than at merge time.
+func (st Study) Fingerprint() (Fingerprint, error) {
+	p, err := st.plan()
+	if err != nil {
+		return Fingerprint{}, err
+	}
+	return st.fingerprint(p), nil
+}
+
 // fingerprint derives the study's identity from its validated plan.
 func (st Study) fingerprint(p *plan) Fingerprint {
 	f := Fingerprint{
@@ -103,6 +121,9 @@ func (st Study) fingerprint(p *plan) Fingerprint {
 }
 
 func (st Study) checkFingerprint(p *plan, cp *Checkpoint) error {
+	if err := cp.Validate(); err != nil {
+		return err
+	}
 	if !st.fingerprint(p).equal(cp.Fingerprint) {
 		return fmt.Errorf("study: checkpoint belongs to a different study (fingerprint mismatch)")
 	}
@@ -144,6 +165,12 @@ type TaskRecord struct {
 // Shards produce checkpoints; Merge unions them; Study.Resume fills
 // the gaps; Study.Outcome folds a complete checkpoint into a
 // StudyOutcome bit-identical to an unsharded run's.
+//
+// Checkpoints travel across trust boundaries (files, the coordinator's
+// HTTP submissions), so none of their invariants are assumed: every
+// consumer re-validates record uniqueness, index bounds and histogram
+// consistency via Validate, and Completed is always rebuilt from the
+// records rather than trusted from the wire.
 type Checkpoint struct {
 	Fingerprint Fingerprint `json:"fingerprint"`
 	// Total is the full ledger size (cells × reps).
@@ -211,8 +238,101 @@ func (cp *Checkpoint) clone() *Checkpoint {
 	return out
 }
 
-// Complete reports whether every ledger task has a record.
-func (cp *Checkpoint) Complete() bool { return len(cp.Records) == cp.Total }
+// Complete reports whether every ledger task has a record. The check is
+// structural — the coalesced ranges must be exactly one span covering
+// [0, Total) — not a record count: a corrupt checkpoint with duplicate
+// indices can hold Total records without covering the ledger, and must
+// not pass as complete (see Validate for the full invariant set).
+func (cp *Checkpoint) Complete() bool {
+	if len(cp.Records) != cp.Total {
+		return false
+	}
+	if cp.Total == 0 {
+		return true
+	}
+	return len(cp.Completed) == 1 && cp.Completed[0] == (TaskRange{Lo: 0, Hi: cp.Total})
+}
+
+// histTotalTol is the relative tolerance of the HistTotal-vs-bin-sum
+// consistency check. The histogram's total accumulates observation by
+// observation while the bins accumulate per bucket, so the two sums may
+// disagree by floating-point regrouping error — bounded by n·ε over the
+// observation count, orders of magnitude below this tolerance — but a
+// corrupted or hand-edited counter disagrees grossly.
+const histTotalTol = 1e-6
+
+// Validate checks the structural invariants a checkpoint must satisfy
+// before any of its records may be aggregated: record indices unique,
+// sorted and inside [0, Total), and histogram state self-consistent
+// (non-negative finite weights, bin count matching the fingerprint's
+// pinned configuration, total matching the bin sum). Checkpoints cross
+// trust boundaries — files that may have been corrupted or hand-edited,
+// HTTP submissions from workers — so every deserialisation and merge
+// boundary (ReadCheckpoint, Merge, Resume, Outcome, the coordinator's
+// submission handler) re-validates rather than trusting its input.
+func (cp *Checkpoint) Validate() error {
+	if cp.Total < 0 {
+		return fmt.Errorf("study: checkpoint ledger size %d is negative", cp.Total)
+	}
+	if len(cp.Records) > cp.Total {
+		return fmt.Errorf("study: checkpoint holds %d records for a %d-task ledger", len(cp.Records), cp.Total)
+	}
+	prev := -1
+	for i := range cp.Records {
+		rec := &cp.Records[i]
+		if rec.Index < 0 || rec.Index >= cp.Total {
+			return fmt.Errorf("study: checkpoint record index %d outside ledger [0,%d)", rec.Index, cp.Total)
+		}
+		if rec.Index == prev {
+			return fmt.Errorf("study: checkpoint holds duplicate records for task %d", rec.Index)
+		}
+		if rec.Index < prev {
+			return fmt.Errorf("study: checkpoint records unsorted at task %d", rec.Index)
+		}
+		prev = rec.Index
+		if err := rec.validateHist(cp.Fingerprint.VCHistBins); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateHist checks one record's serialised histogram state against
+// the fingerprint's pinned bin count (0 = the study runs without dwell
+// histograms, so records must not carry any).
+func (rec *TaskRecord) validateHist(wantBins int) error {
+	if len(rec.HistBins) == 0 {
+		if rec.HistTotal != 0 || rec.HistUnder != 0 || rec.HistOver != 0 {
+			return fmt.Errorf("study: task %d carries histogram counters without bins", rec.Index)
+		}
+		if wantBins > 0 {
+			return fmt.Errorf("study: task %d missing its dwell histogram (study pins %d bins)", rec.Index, wantBins)
+		}
+		return nil
+	}
+	if len(rec.HistBins) != wantBins {
+		return fmt.Errorf("study: task %d histogram has %d bins, study pins %d", rec.Index, len(rec.HistBins), wantBins)
+	}
+	sum := rec.HistUnder + rec.HistOver
+	for b, w := range rec.HistBins {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("study: task %d histogram bin %d has invalid weight %g", rec.Index, b, w)
+		}
+		sum += w
+	}
+	for _, c := range []struct {
+		name string
+		w    float64
+	}{{"underflow", rec.HistUnder}, {"overflow", rec.HistOver}, {"total", rec.HistTotal}} {
+		if c.w < 0 || math.IsNaN(c.w) || math.IsInf(c.w, 0) {
+			return fmt.Errorf("study: task %d histogram %s %g invalid", rec.Index, c.name, c.w)
+		}
+	}
+	if diff := math.Abs(rec.HistTotal - sum); diff > histTotalTol*math.Max(1, math.Max(rec.HistTotal, sum)) {
+		return fmt.Errorf("study: task %d histogram total %g inconsistent with bin sum %g", rec.Index, rec.HistTotal, sum)
+	}
+	return nil
+}
 
 // Missing returns the ledger ranges still to execute, sorted.
 func (cp *Checkpoint) Missing() []TaskRange {
@@ -233,8 +353,17 @@ func (cp *Checkpoint) Missing() []TaskRange {
 // Merge folds the other checkpoint into cp. Both must stem from the
 // same study, and their completed task sets must be disjoint — the
 // ledger guarantees every task runs exactly once, so an overlap means
-// two shards were mis-split and is an error, not a tie-break.
+// two shards were mis-split and is an error, not a tie-break. Both
+// sides are re-validated first (checkpoints cross trust boundaries),
+// and the merged records are deep copies: other's backing arrays are
+// never aliased, so later mutation of cp cannot corrupt its sources.
 func (cp *Checkpoint) Merge(other *Checkpoint) error {
+	if err := cp.Validate(); err != nil {
+		return fmt.Errorf("study: merge target invalid: %w", err)
+	}
+	if err := other.Validate(); err != nil {
+		return fmt.Errorf("study: merge source invalid: %w", err)
+	}
 	if !cp.Fingerprint.equal(other.Fingerprint) {
 		return fmt.Errorf("study: merge of checkpoints from different studies")
 	}
@@ -247,16 +376,24 @@ func (cp *Checkpoint) Merge(other *Checkpoint) error {
 			return fmt.Errorf("study: merge overlap at task %d — shards must partition the ledger", rec.Index)
 		}
 	}
-	cp.Records = append(cp.Records, other.Records...)
+	for _, rec := range other.Records {
+		rec.HistBins = append([]float64(nil), rec.HistBins...)
+		cp.Records = append(cp.Records, rec)
+	}
 	sort.Slice(cp.Records, func(i, j int) bool { return cp.Records[i].Index < cp.Records[j].Index })
 	cp.rebuildRanges()
 	return nil
 }
 
-// MergeCheckpoints unions shard checkpoints into one (none are mutated).
+// MergeCheckpoints unions shard checkpoints into one. None of the
+// inputs are mutated, and the result shares no backing arrays with
+// them — records are deep-copied on the way in.
 func MergeCheckpoints(cps ...*Checkpoint) (*Checkpoint, error) {
 	if len(cps) == 0 {
 		return nil, fmt.Errorf("study: nothing to merge")
+	}
+	if err := cps[0].Validate(); err != nil {
+		return nil, err
 	}
 	out := cps[0].clone()
 	for _, cp := range cps[1:] {
@@ -274,7 +411,12 @@ func (cp *Checkpoint) WriteJSON(w io.Writer) error {
 	return enc.Encode(cp)
 }
 
-// ReadCheckpoint deserialises a checkpoint written by WriteJSON.
+// ReadCheckpoint deserialises a checkpoint written by WriteJSON. The
+// record set is re-sorted, the completed ranges are rebuilt from it
+// (never trusted from the file), and the result is validated: a
+// truncated file, duplicate or out-of-range record indices, or
+// inconsistent histogram counters are diagnostic errors here, not
+// wrong aggregates later.
 func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	cp := &Checkpoint{}
 	if err := json.NewDecoder(r).Decode(cp); err != nil {
@@ -282,6 +424,9 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	}
 	sort.Slice(cp.Records, func(i, j int) bool { return cp.Records[i].Index < cp.Records[j].Index })
 	cp.rebuildRanges()
+	if err := cp.Validate(); err != nil {
+		return nil, err
+	}
 	return cp, nil
 }
 

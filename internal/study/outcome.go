@@ -97,109 +97,187 @@ func (o *StudyOutcome) CellByKey(key string) (CellOutcome, bool) {
 	return CellOutcome{}, false
 }
 
-// outcomeFrom aggregates completed ledger results (sorted by task
-// index, one per ledger entry) into the study outcome. Everything is
-// accumulated strictly in task order — scalar summaries and histogram
-// merges alike — which is what makes the outcome bit-identical at any
-// worker count, across shard counts and through checkpoint round-trips.
-func (st Study) outcomeFrom(p *plan, results []TaskResult) (*StudyOutcome, error) {
-	if len(results) != p.total {
-		return nil, fmt.Errorf("study: %d results for a %d-task ledger", len(results), p.total)
-	}
-	for i := range results {
-		if results[i].Task.Index != i {
-			return nil, fmt.Errorf("study: result %d carries task index %d", i, results[i].Task.Index)
-		}
-	}
+// outcomeAccum is the streaming heart of study aggregation: results
+// are folded one at a time, strictly in canonical ledger order, into
+// the scalar summary accumulators and the cell/study histograms. Both
+// aggregation paths — the in-process outcomeFrom over a full result
+// slice and the chunk Folder consuming coordinator submissions — run
+// through this one accumulator, so a chunked, re-leased, out-of-order
+// distributed study is bit-identical to an unsharded Run by
+// construction, not by coincidence.
+//
+// Per-task histograms are merged and dropped as they are folded, so
+// the accumulator's histogram state is O(cells × bins) however many
+// tasks stream through it; the retained per-task state is the scalar
+// records the outcome's Results and quantile bands are made of.
+type outcomeAccum struct {
+	st *Study
+	p  *plan
 
-	overall := newSummaryAccum(p.total)
-	cellAccums := make([]*summaryAccum, len(p.cells))
-	for i := range cellAccums {
-		cellAccums[i] = newSummaryAccum(p.reps)
-	}
-	marginAccums := make([][]*summaryAccum, len(st.Axes))
-	for a, ax := range st.Axes {
-		marginAccums[a] = make([]*summaryAccum, len(ax.Levels))
-		for l := range ax.Levels {
-			marginAccums[a][l] = newSummaryAccum(0)
-		}
-	}
+	overall      *summaryAccum
+	cellAccums   []*summaryAccum
+	marginAccums [][]*summaryAccum
+	groupOrder   []string
+	groupAccums  map[string]*summaryAccum
+	cellHists    []*stats.Histogram
+	vcHist       *stats.Histogram
+	results      []TaskResult
+}
 
-	out := &StudyOutcome{Axes: st.fingerprint(p).Axes, Results: results}
-	cellHists := make([]*stats.Histogram, len(p.cells))
-	mergeHist := func(into **stats.Histogram, h *stats.Histogram) error {
-		if *into == nil {
-			merged := *h // copy bounds; clone the bins
-			merged.Bins = append([]float64(nil), h.Bins...)
-			*into = &merged
-			return nil
-		}
-		return (*into).Merge(h)
+func (st *Study) newOutcomeAccum(p *plan) *outcomeAccum {
+	a := &outcomeAccum{
+		st: st, p: p,
+		overall:      newSummaryAccum(p.total),
+		cellAccums:   make([]*summaryAccum, len(p.cells)),
+		marginAccums: make([][]*summaryAccum, len(st.Axes)),
+		groupAccums:  map[string]*summaryAccum{},
+		cellHists:    make([]*stats.Histogram, len(p.cells)),
+		results:      make([]TaskResult, 0, p.total),
 	}
-
-	var groupOrder []string
-	groupAccums := map[string]*summaryAccum{}
-	for i := range results {
-		r := &results[i]
-		cell := p.cells[r.Task.Cell]
-		overall.add(r.Metrics)
-		cellAccums[cell.Index].add(r.Metrics)
-		for a := range st.Axes {
-			marginAccums[a][cell.Coords[a]].add(r.Metrics)
+	for i := range a.cellAccums {
+		a.cellAccums[i] = newSummaryAccum(p.reps)
+	}
+	for ax, axis := range st.Axes {
+		a.marginAccums[ax] = make([]*summaryAccum, len(axis.Levels))
+		for l := range axis.Levels {
+			a.marginAccums[ax][l] = newSummaryAccum(0)
 		}
-		if st.Group != nil {
-			g, ok := groupAccums[r.Group]
-			if !ok {
-				g = newSummaryAccum(0)
-				groupAccums[r.Group] = g
-				groupOrder = append(groupOrder, r.Group)
+	}
+	return a
+}
+
+// mergeHist folds h into *into, materialising the target from the
+// first histogram's bounds (bins cloned, never aliased).
+func mergeHist(into **stats.Histogram, h *stats.Histogram) error {
+	if *into == nil {
+		merged := *h // copy bounds; clone the bins
+		merged.Bins = append([]float64(nil), h.Bins...)
+		*into = &merged
+		return nil
+	}
+	return (*into).Merge(h)
+}
+
+// add folds the next ledger result. Results must arrive in canonical
+// task order — the invariant every bit-identity guarantee rests on —
+// so the accumulator rejects anything else.
+func (a *outcomeAccum) add(r TaskResult) error {
+	if r.Task.Index != len(a.results) {
+		return fmt.Errorf("study: result %d carries task index %d", len(a.results), r.Task.Index)
+	}
+	cell := a.p.cells[r.Task.Cell]
+	a.overall.add(r.Metrics)
+	a.cellAccums[cell.Index].add(r.Metrics)
+	for ax := range a.st.Axes {
+		a.marginAccums[ax][cell.Coords[ax]].add(r.Metrics)
+	}
+	if a.st.Group != nil {
+		g, ok := a.groupAccums[r.Group]
+		if !ok {
+			g = newSummaryAccum(0)
+			a.groupAccums[r.Group] = g
+			a.groupOrder = append(a.groupOrder, r.Group)
+		}
+		g.add(r.Metrics)
+	}
+	if r.Hist != nil {
+		if err := mergeHist(&a.cellHists[cell.Index], r.Hist); err != nil {
+			return err
+		}
+		if err := mergeHist(&a.vcHist, r.Hist); err != nil {
+			return err
+		}
+		// Merged; drop the per-task histogram so a large study does
+		// not keep O(tasks × bins) dead weight alive in Results.
+		r.Hist = nil
+	}
+	a.results = append(a.results, r)
+	return nil
+}
+
+// folded returns the number of results accumulated so far.
+func (a *outcomeAccum) folded() int { return len(a.results) }
+
+// marginals snapshots the per-axis marginal summaries over the results
+// folded so far, skipping levels no run has reached yet — the live
+// "controller vs. governors so far" view the coordinator streams as
+// chunks land. Snapshotting never mutates the accumulator.
+func (a *outcomeAccum) marginals() []Marginal {
+	var out []Marginal
+	for ax, axis := range a.st.Axes {
+		for l, lv := range axis.Levels {
+			acc := a.marginAccums[ax][l]
+			if len(acc.instr) == 0 {
+				continue
 			}
-			g.add(r.Metrics)
-		}
-		if r.Hist != nil {
-			if err := mergeHist(&cellHists[cell.Index], r.Hist); err != nil {
-				return nil, err
+			s, err := acc.summary()
+			if err != nil {
+				continue
 			}
-			if err := mergeHist(&out.VCHistogram, r.Hist); err != nil {
-				return nil, err
-			}
-			// Merged; drop the per-task histogram so a large study does
-			// not keep O(tasks × bins) dead weight alive in Results.
-			r.Hist = nil
+			out = append(out, Marginal{Axis: axis.Name, Level: lv.Label, Summary: s})
 		}
 	}
+	return out
+}
 
+// outcome finalises the accumulator into the study outcome; the full
+// ledger must have been folded.
+func (a *outcomeAccum) outcome() (*StudyOutcome, error) {
+	if len(a.results) != a.p.total {
+		return nil, fmt.Errorf("study: %d results for a %d-task ledger", len(a.results), a.p.total)
+	}
+	out := &StudyOutcome{
+		Axes: a.st.fingerprint(a.p).Axes, Results: a.results,
+		VCHistogram: a.vcHist,
+	}
 	var err error
-	if out.Summary, err = overall.summary(); err != nil {
+	if out.Summary, err = a.overall.summary(); err != nil {
 		return nil, err
 	}
 	out.DwellVC = dwellBand(out.VCHistogram)
-	out.Cells = make([]CellOutcome, len(p.cells))
-	for c := range p.cells {
-		co := CellOutcome{Cell: p.cells[c], VCHistogram: cellHists[c]}
-		if co.Summary, err = cellAccums[c].summary(); err != nil {
+	out.Cells = make([]CellOutcome, len(a.p.cells))
+	for c := range a.p.cells {
+		co := CellOutcome{Cell: a.p.cells[c], VCHistogram: a.cellHists[c]}
+		if co.Summary, err = a.cellAccums[c].summary(); err != nil {
 			return nil, err
 		}
 		co.DwellVC = dwellBand(co.VCHistogram)
 		out.Cells[c] = co
 	}
-	if len(st.Axes) > 0 {
-		for a, ax := range st.Axes {
-			for l, lv := range ax.Levels {
-				m := Marginal{Axis: ax.Name, Level: lv.Label}
-				if m.Summary, err = marginAccums[a][l].summary(); err != nil {
-					return nil, err
-				}
-				out.Marginals = append(out.Marginals, m)
+	for ax, axis := range a.st.Axes {
+		for l, lv := range axis.Levels {
+			m := Marginal{Axis: axis.Name, Level: lv.Label}
+			if m.Summary, err = a.marginAccums[ax][l].summary(); err != nil {
+				return nil, err
 			}
+			out.Marginals = append(out.Marginals, m)
 		}
 	}
-	for _, name := range groupOrder {
-		s, err := groupAccums[name].summary()
+	for _, name := range a.groupOrder {
+		s, err := a.groupAccums[name].summary()
 		if err != nil {
 			return nil, err
 		}
 		out.Groups = append(out.Groups, GroupSummary{Name: name, Summary: s})
 	}
 	return out, nil
+}
+
+// outcomeFrom aggregates completed ledger results (sorted by task
+// index, one per ledger entry) into the study outcome. Everything is
+// accumulated strictly in task order — scalar summaries and histogram
+// merges alike — which is what makes the outcome bit-identical at any
+// worker count, across shard and chunk counts and through checkpoint
+// round-trips.
+func (st Study) outcomeFrom(p *plan, results []TaskResult) (*StudyOutcome, error) {
+	if len(results) != p.total {
+		return nil, fmt.Errorf("study: %d results for a %d-task ledger", len(results), p.total)
+	}
+	a := st.newOutcomeAccum(p)
+	for i := range results {
+		if err := a.add(results[i]); err != nil {
+			return nil, err
+		}
+	}
+	return a.outcome()
 }

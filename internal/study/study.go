@@ -18,6 +18,20 @@
 // the gaps, and Outcome folds a complete checkpoint into the same
 // StudyOutcome an unsharded Run produces — bit-identical, because
 // aggregation always replays the ledger in canonical task order.
+// Chunks, RunChunk and Folder are the coordinated form of the same
+// contract: fixed-size contiguous ledger blocks a coordinator leases
+// to workers and folds back, in canonical order, at O(outstanding
+// chunks) histogram memory (see internal/coord).
+//
+// Checkpoints cross trust boundaries — files that may be truncated,
+// corrupted or hand-edited, and HTTP submissions from remote workers —
+// so the protocol validates rather than trusts: every deserialisation
+// and merge boundary (ReadCheckpoint, Merge, MergeCheckpoints, Resume,
+// Outcome, Folder.Fold) re-checks record-index uniqueness and bounds,
+// histogram-counter consistency and the study fingerprint, and
+// Checkpoint.Complete is a structural coverage check, not a record
+// count. A hostile checkpoint produces a diagnostic error, never a
+// silently wrong aggregate.
 //
 // The Monte-Carlo Campaign runner and the experiments-package parameter
 // sweep are both implemented on top of this engine.
