@@ -4,13 +4,23 @@
 // harnesses:
 //
 //	pnbench [-out BENCH_campaign.json] [-bench regex] [-benchtime 5x] [-count 1] [-pkg ./...]
+//	pnbench -engine batched ...
+//	pnbench -compare old.json ...
 //
 // It shells out to `go test -run ^$ -bench <regex> -benchmem` and
 // parses the standard benchmark output into one record per benchmark:
 // iterations, ns/op, B/op, allocs/op and any custom metrics
-// (e.g. meanPct5 for campaign stability). The default benchmark set is
-// the perf-critical path: the storage-dispatch alloc guard, the
-// end-to-end controller minute and the trace-free campaign.
+// (e.g. meanPct5 for campaign stability). Engine-mode sub-benchmarks
+// ("…/engine=batched-w8") additionally record the execution engine and
+// its lockstep batch width. The default benchmark set is the
+// perf-critical path: the storage-dispatch alloc guard, the end-to-end
+// controller minute, the trace-free campaign in both engine modes and
+// the integrator segment.
+//
+// -compare gates the fresh run against a previous report: any
+// allocs/op increase, or an ns/op slowdown beyond 15%, on a benchmark
+// present in both reports prints a diagnostic and exits non-zero — the
+// CI perf gate, replacing ad-hoc output greps.
 package main
 
 import (
@@ -42,6 +52,12 @@ type Result struct {
 	// BytesPerOp and AllocsPerOp are present with -benchmem.
 	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Engine and BatchWidth identify the execution engine of engine-mode
+	// sub-benchmarks, parsed from an "engine=<name>[-wN]" path element
+	// ("scalar"; "batched" with its lockstep lane count). Empty and zero
+	// for engine-agnostic benchmarks.
+	Engine     string `json:"engine,omitempty"`
+	BatchWidth int    `json:"batch_width,omitempty"`
 	// Metrics holds custom b.ReportMetric values by unit name.
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
@@ -70,11 +86,34 @@ func main() {
 		benchtime = flag.String("benchtime", "5x", "go test -benchtime value (fixed -Nx iteration counts keep runs reproducible)")
 		count     = flag.Int("count", 1, "go test -count value")
 		pkg       = flag.String("pkg", "./...", "package pattern to benchmark")
+		engineSel = flag.String("engine", "", "run engine-mode sub-benchmarks for this engine only: scalar or batched (default both; engine-agnostic benchmarks always run)")
+		compare   = flag.String("compare", "", "previous report JSON to gate against (>15% ns/op or any allocs/op regression exits non-zero)")
 		verbose   = flag.Bool("v", false, "echo the raw go test output to stderr")
 	)
 	flag.Parse()
 
-	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
+	// Load the -compare baseline up front: it may be the same path as
+	// -out, and the gate must judge against the previous record, not
+	// the one this invocation is about to write.
+	var baseline Report
+	if *compare != "" {
+		var err error
+		if baseline, err = readReport(*compare); err != nil {
+			fmt.Fprintf(os.Stderr, "pnbench: -compare %s: %v\n", *compare, err)
+			os.Exit(1)
+		}
+	}
+
+	// -engine narrows the third sub-benchmark level to one engine mode;
+	// go test matches slash-separated patterns level by level and
+	// ignores pattern levels deeper than a benchmark's name, so
+	// benchmarks without an engine level are unaffected.
+	benchArg := *bench
+	if *engineSel != "" {
+		benchArg = fmt.Sprintf("(%s)/.*/engine=%s", *bench, *engineSel)
+	}
+
+	args := []string{"test", "-run", "^$", "-bench", benchArg, "-benchmem",
 		"-benchtime", *benchtime, "-count", strconv.Itoa(*count), *pkg}
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
@@ -94,7 +133,7 @@ func main() {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
-		Bench:      *bench,
+		Bench:      benchArg,
 		Benchtime:  *benchtime,
 		Results:    parseBenchOutput(string(raw)),
 	}
@@ -123,6 +162,87 @@ func main() {
 	if *out != "-" {
 		fmt.Printf("pnbench: wrote %d results to %s\n", len(rep.Results), *out)
 	}
+
+	if *compare != "" {
+		regressions := compareReports(baseline, rep)
+		for _, msg := range regressions {
+			fmt.Fprintln(os.Stderr, "pnbench: regression:", msg)
+		}
+		if len(regressions) > 0 {
+			os.Exit(1)
+		}
+		fmt.Printf("pnbench: no regressions against %s\n", *compare)
+	}
+}
+
+// nsTolerance is the fractional ns/op slowdown -compare tolerates:
+// shared runners jitter, so only slowdowns beyond 15% fail the gate.
+// Alloc counts are deterministic and tolerate no increase at all.
+const nsTolerance = 0.15
+
+// readReport loads a previously written pnbench report.
+func readReport(path string) (Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Report{}, err
+	}
+	defer f.Close()
+	var rep Report
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return Report{}, err
+	}
+	return rep, nil
+}
+
+// compareReports returns one diagnostic per regression of cur against
+// prev: any allocs/op increase, or an ns/op slowdown beyond nsTolerance.
+// Results are matched by package and full benchmark name; benchmarks
+// absent from the baseline are new, not regressions, and are skipped.
+func compareReports(prev, cur Report) []string {
+	base := make(map[string]Result, len(prev.Results))
+	for _, r := range prev.Results {
+		base[r.Package+" "+r.Name] = r
+	}
+	var regs []string
+	for _, r := range cur.Results {
+		b, ok := base[r.Package+" "+r.Name]
+		if !ok {
+			continue
+		}
+		if r.AllocsPerOp != nil && b.AllocsPerOp != nil && *r.AllocsPerOp > *b.AllocsPerOp {
+			regs = append(regs, fmt.Sprintf("%s: allocs/op %g -> %g (any increase fails)",
+				r.Name, *b.AllocsPerOp, *r.AllocsPerOp))
+		}
+		if b.NsPerOp > 0 && r.NsPerOp > b.NsPerOp*(1+nsTolerance) {
+			regs = append(regs, fmt.Sprintf("%s: ns/op %.0f -> %.0f (+%.1f%%, tolerance %.0f%%)",
+				r.Name, b.NsPerOp, r.NsPerOp, (r.NsPerOp/b.NsPerOp-1)*100, nsTolerance*100))
+		}
+	}
+	return regs
+}
+
+// parseEngine extracts the execution engine and lockstep batch width
+// from an "engine=<name>[-wN]" path element of a benchmark name, e.g.
+// "BenchmarkCampaignTraceFree/workers=1/engine=batched-w8-4" (the
+// trailing "-4" being go test's GOMAXPROCS suffix) yields ("batched",
+// 8). Names without an engine element yield ("", 0).
+func parseEngine(name string) (engine string, width int) {
+	for _, el := range strings.Split(name, "/") {
+		if !strings.HasPrefix(el, "engine=") {
+			continue
+		}
+		parts := strings.Split(strings.TrimPrefix(el, "engine="), "-")
+		engine = parts[0]
+		for _, p := range parts[1:] {
+			if len(p) > 1 && p[0] == 'w' {
+				if n, err := strconv.Atoi(p[1:]); err == nil {
+					width = n
+				}
+			}
+		}
+		return engine, width
+	}
+	return "", 0
 }
 
 // parseBenchOutput extracts benchmark result lines from go test output.
@@ -162,6 +282,7 @@ func parseBenchLine(line, pkg string) (Result, bool) {
 		return Result{}, false
 	}
 	r := Result{Name: fields[0], Package: pkg, Iterations: iters}
+	r.Engine, r.BatchWidth = parseEngine(fields[0])
 	seen := false
 	// The remainder is (value, unit) pairs.
 	for i := 2; i+1 < len(fields); i += 2 {

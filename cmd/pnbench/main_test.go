@@ -1,6 +1,60 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
+
+func f64(v float64) *float64 { return &v }
+
+func TestParseEngine(t *testing.T) {
+	cases := []struct {
+		name, engine string
+		width        int
+	}{
+		{"BenchmarkCampaignTraceFree/workers=1/engine=scalar", "scalar", 0},
+		{"BenchmarkCampaignTraceFree/workers=1/engine=batched-w8", "batched", 8},
+		{"BenchmarkCampaignTraceFree/workers=4/engine=batched-w8-4", "batched", 8},
+		{"BenchmarkStorageDispatch/ideal-8", "", 0},
+	}
+	for _, c := range cases {
+		eng, w := parseEngine(c.name)
+		if eng != c.engine || w != c.width {
+			t.Errorf("parseEngine(%q) = (%q, %d), want (%q, %d)", c.name, eng, w, c.engine, c.width)
+		}
+	}
+}
+
+func TestCompareReports(t *testing.T) {
+	prev := Report{Results: []Result{
+		{Name: "BenchmarkA", Package: "p", NsPerOp: 1000, AllocsPerOp: f64(10)},
+		{Name: "BenchmarkB", Package: "p", NsPerOp: 1000, AllocsPerOp: f64(10)},
+		{Name: "BenchmarkC", Package: "p", NsPerOp: 1000},
+	}}
+	cur := Report{Results: []Result{
+		// Within tolerance, allocs flat: clean.
+		{Name: "BenchmarkA", Package: "p", NsPerOp: 1100, AllocsPerOp: f64(10)},
+		// Alloc regression (any increase) AND ns regression (>15%).
+		{Name: "BenchmarkB", Package: "p", NsPerOp: 1200, AllocsPerOp: f64(11)},
+		// Faster: never a regression.
+		{Name: "BenchmarkC", Package: "p", NsPerOp: 500},
+		// New benchmark with no baseline: skipped.
+		{Name: "BenchmarkD", Package: "p", NsPerOp: 9e9, AllocsPerOp: f64(1e6)},
+	}}
+	regs := compareReports(prev, cur)
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions (%v), want 2", len(regs), regs)
+	}
+	if !strings.Contains(regs[0], "allocs/op") || !strings.Contains(regs[0], "BenchmarkB") {
+		t.Errorf("alloc regression diagnostic: %q", regs[0])
+	}
+	if !strings.Contains(regs[1], "ns/op") || !strings.Contains(regs[1], "BenchmarkB") {
+		t.Errorf("ns regression diagnostic: %q", regs[1])
+	}
+	if got := compareReports(prev, prev); len(got) != 0 {
+		t.Errorf("self-comparison reported regressions: %v", got)
+	}
+}
 
 func TestParseBenchLine(t *testing.T) {
 	pkg := "pnps/internal/sim"
@@ -22,12 +76,15 @@ func TestParseBenchLine(t *testing.T) {
 
 func TestParseBenchLineCustomMetrics(t *testing.T) {
 	r, ok := parseBenchLine(
-		"BenchmarkCampaignTraceFree/workers=4-8 \t 3\t 11937706 ns/op\t 22.02 meanPct5\t 452954 B/op\t 1453 allocs/op", "p")
+		"BenchmarkCampaignTraceFree/workers=4/engine=batched-w8 \t 3\t 11937706 ns/op\t 22.02 meanPct5\t 452954 B/op\t 1453 allocs/op", "p")
 	if !ok {
 		t.Fatal("line rejected")
 	}
 	if r.Metrics["meanPct5"] != 22.02 {
 		t.Errorf("custom metric: %+v", r.Metrics)
+	}
+	if r.Engine != "batched" || r.BatchWidth != 8 {
+		t.Errorf("engine attribution: %+v", r)
 	}
 }
 

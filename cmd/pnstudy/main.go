@@ -13,8 +13,9 @@
 //	pnstudy -worker http://coordinator:8080
 //	pnstudy -list
 //
-// The matrix flags (everything except -workers and -progress) define
-// the study identity: shard, resume and merge invocations must repeat
+// The matrix flags (everything except -workers, -engine, -batch-width
+// and -progress) define the study identity: shard, resume and merge
+// invocations must repeat
 // them exactly — checkpoints carry a fingerprint and refuse to mix
 // with a different matrix. Worker counts, shard counts and
 // interruption points never change the result: the merged outcome is
@@ -72,6 +73,8 @@ func main() {
 		seed     = flag.Int64("seed", 2017, "study base seed")
 		paired   = flag.Bool("paired", false, "common random numbers: one realisation per repetition across all cells")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent runs")
+		engine   = flag.String("engine", "scalar", "execution engine: scalar, or batched (lockstep SoA lanes; bit-identical results)")
+		batchW   = flag.Int("batch-width", 0, "batched engine lane count (0 selects the default width)")
 		progress = flag.Bool("progress", false, "report run progress on stderr")
 		bins     = flag.Int("bins", 250, "dwell-time voltage histogram bins (0 disables)")
 		histLo   = flag.Float64("histlo", 0, "dwell histogram lower bound, volts")
@@ -98,7 +101,7 @@ func main() {
 
 	ctx := context.Background()
 	if *workerAt != "" {
-		if err := runWorker(ctx, *workerAt, *name, *workers); err != nil {
+		if err := runWorker(ctx, *workerAt, *name, *workers, *engine, *batchW); err != nil {
 			fatal(err)
 		}
 		return
@@ -114,6 +117,7 @@ func main() {
 		fatal(err)
 	}
 	st.Workers = *workers
+	st.Engine, st.BatchWidth = *engine, *batchW
 	if *progress {
 		st.OnProgress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\rpnstudy: %d/%d runs", done, total)
@@ -158,8 +162,9 @@ func main() {
 
 // runWorker joins a coordinator: the study identity travels as a
 // studycli.Config recipe, is rebuilt locally and fingerprint-verified
-// before any chunk executes.
-func runWorker(ctx context.Context, url, name string, workers int) error {
+// before any chunk executes. The engine is local execution detail — it
+// never changes results, so each worker picks its own.
+func runWorker(ctx context.Context, url, name string, workers int, engine string, batchWidth int) error {
 	w := &coord.Worker{
 		URL: url, Name: name, Workers: workers,
 		BuildStudy: func(recipe json.RawMessage) (study.Study, error) {
@@ -167,7 +172,12 @@ func runWorker(ctx context.Context, url, name string, workers int) error {
 			if err := json.Unmarshal(recipe, &c); err != nil {
 				return study.Study{}, fmt.Errorf("undecodable study recipe: %w", err)
 			}
-			return c.Build()
+			st, err := c.Build()
+			if err != nil {
+				return study.Study{}, err
+			}
+			st.Engine, st.BatchWidth = engine, batchWidth
+			return st, nil
 		},
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "pnstudy: "+format+"\n", args...)

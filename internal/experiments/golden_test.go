@@ -7,6 +7,7 @@ import (
 	"pnps/internal/pv"
 	"pnps/internal/sim"
 	"pnps/internal/soc"
+	"pnps/internal/testutil"
 )
 
 // TestFig6GoldenThroughScenarioLayer pins the refactor invariant at the
@@ -51,22 +52,7 @@ func TestFig6GoldenThroughScenarioLayer(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if golden.Interrupts != got.Interrupts || golden.Instructions != got.Instructions ||
-		golden.FinalVC != got.FinalVC || golden.Brownouts != got.Brownouts {
-		t.Fatalf("fig6 controller run diverged from golden: %+v vs %+v",
-			[4]float64{float64(golden.Interrupts), golden.Instructions, golden.FinalVC, float64(golden.Brownouts)},
-			[4]float64{float64(got.Interrupts), got.Instructions, got.FinalVC, float64(got.Brownouts)})
-	}
-	gt, gv := golden.VC.Times(), golden.VC.Values()
-	nt, nv := got.VC.Times(), got.VC.Values()
-	if len(gt) != len(nt) {
-		t.Fatalf("VC trace lengths differ: %d vs %d", len(gt), len(nt))
-	}
-	for i := range gt {
-		if gt[i] != nt[i] || gv[i] != nv[i] {
-			t.Fatalf("VC traces diverge at sample %d", i)
-		}
-	}
+	testutil.RequireEqualResults(t, "fig6 controller run", got, golden)
 
 	// The static baseline too.
 	staticOPP := soc.OPP{FreqIdx: 6, Config: soc.CoreConfig{Little: 4, Big: 3}}
@@ -87,9 +73,5 @@ func TestFig6GoldenThroughScenarioLayer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if goldenStatic.FirstBrownout != gotStatic.FirstBrownout ||
-		goldenStatic.FinalVC != gotStatic.FinalVC ||
-		goldenStatic.Instructions != gotStatic.Instructions {
-		t.Fatal("fig6 static run diverged from golden")
-	}
+	testutil.RequireEqualResults(t, "fig6 static run", gotStatic, goldenStatic)
 }

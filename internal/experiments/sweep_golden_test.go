@@ -2,12 +2,14 @@ package experiments
 
 import (
 	"context"
+	"fmt"
 	"sort"
 	"testing"
 
 	"pnps/internal/batch"
 	"pnps/internal/core"
 	"pnps/internal/scenario"
+	"pnps/internal/testutil"
 )
 
 // legacyRunSweep is the pre-study sweep implementation, kept verbatim
@@ -77,9 +79,7 @@ func TestRunSweepGoldenOnStudyEngine(t *testing.T) {
 		t.Fatalf("got %d points, want %d", len(got), len(want))
 	}
 	for i := range want {
-		if got[i] != want[i] {
-			t.Errorf("point %d diverged:\nlegacy %+v\nstudy  %+v", i, want[i], got[i])
-		}
+		testutil.RequireEqual(t, fmt.Sprintf("sweep point %d", i), got[i], want[i])
 	}
 }
 

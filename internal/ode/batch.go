@@ -1,0 +1,162 @@
+package ode
+
+import "fmt"
+
+// BatchIntegrator advances up to W independent segment integrations in
+// lockstep. Each lane is a full Integrator whose 11 stage buffers are
+// views into one shared structure-of-arrays slab — all lanes' k1 storage
+// is contiguous, then all lanes' k2, and so on — so a lockstep round
+// walks each stage across the whole batch with unit stride.
+//
+// Rounds are attempt-synchronous, not time-synchronous: every running
+// lane performs exactly one step attempt per Round (its own adaptive step
+// size, its own accept/reject outcome). A lane that rejects simply
+// retries on the next round; a lane whose segment finishes (span covered,
+// terminal event, error) drops out of the round set until the caller
+// collects its Result with Take and re-arms it with Start. Because each
+// lane executes the identical segState method sequence the scalar
+// Integrate loop uses, per-lane results are bit-identical to scalar
+// integration regardless of batch width or lane interleaving.
+//
+// A BatchIntegrator is not safe for concurrent use.
+type BatchIntegrator struct {
+	width, dim int
+	slab       []float64
+	lanes      []batchLane
+	active     int
+	stepping   []int // scratch: lane indices attempting a step this round
+}
+
+type batchLane struct {
+	in      Integrator
+	s       segState
+	running bool
+}
+
+// NewBatchIntegrator returns a lockstep integrator for `width` lanes of
+// a `dim`-dimensional state. All lanes are idle until armed with Start.
+func NewBatchIntegrator(width, dim int) *BatchIntegrator {
+	if width < 1 || dim < 1 {
+		panic(fmt.Sprintf("ode: NewBatchIntegrator(width=%d, dim=%d): both must be >= 1", width, dim))
+	}
+	b := &BatchIntegrator{
+		width:    width,
+		dim:      dim,
+		slab:     make([]float64, 11*width*dim),
+		lanes:    make([]batchLane, width),
+		stepping: make([]int, 0, width),
+	}
+	for l := range b.lanes {
+		b.lanes[l].in.bindBuffers(b.slab, dim, width, l)
+	}
+	return b
+}
+
+// Width returns the number of lanes.
+func (b *BatchIntegrator) Width() int { return b.width }
+
+// Dim returns the per-lane state dimension.
+func (b *BatchIntegrator) Dim() int { return b.dim }
+
+// Active returns the number of lanes currently mid-segment.
+func (b *BatchIntegrator) Active() int { return b.active }
+
+// Running reports whether lane is mid-segment (armed and not finished).
+func (b *BatchIntegrator) Running(lane int) bool { return b.lanes[lane].running }
+
+// Start arms lane with a new segment — same contract as
+// Integrator.Integrate, split at the first step attempt. y must have
+// length at most Dim (lanes with a smaller state dimension reslice their
+// stage views down; the slab stays shared) and is updated in place as
+// the lane advances. Validation errors (bad span, NaN state) are
+// returned immediately and leave the lane idle.
+func (b *BatchIntegrator) Start(lane int, f RHS, t0, t1 float64, y []float64, opts Options) error {
+	ln := &b.lanes[lane]
+	if ln.running {
+		panic(fmt.Sprintf("ode: BatchIntegrator.Start on running lane %d", lane))
+	}
+	if len(y) > b.dim {
+		return fmt.Errorf("ode: BatchIntegrator.Start lane %d: len(y)=%d exceeds dim=%d", lane, len(y), b.dim)
+	}
+	if err := ln.in.begin(&ln.s, f, t0, t1, y, opts); err != nil {
+		return err
+	}
+	ln.running = true
+	b.active++
+	return nil
+}
+
+// Round performs one lockstep step attempt for every running lane,
+// stage-major: all lanes' stage-2 evaluations, then all stage 3, and so
+// on, finishing with each lane's accept/reject settlement. It returns
+// the number of lanes still running; lanes whose segment completed this
+// round are no longer Running and their Result is ready to Take.
+func (b *BatchIntegrator) Round() int {
+	if b.active == 0 {
+		return 0
+	}
+	st := b.stepping[:0]
+	for i := range b.lanes {
+		ln := &b.lanes[i]
+		if !ln.running {
+			continue
+		}
+		if ln.in.attemptPrepare(&ln.s) {
+			st = append(st, i)
+		} else {
+			ln.running = false
+			b.active--
+		}
+	}
+	b.stepping = st
+	for _, i := range st {
+		b.lanes[i].in.stageK2(&b.lanes[i].s)
+	}
+	for _, i := range st {
+		b.lanes[i].in.stageK3(&b.lanes[i].s)
+	}
+	for _, i := range st {
+		b.lanes[i].in.stageY1K4(&b.lanes[i].s)
+	}
+	for _, i := range st {
+		b.lanes[i].in.stageErr(&b.lanes[i].s)
+	}
+	for _, i := range st {
+		ln := &b.lanes[i]
+		ln.in.settleStep(&ln.s)
+		if ln.s.done {
+			// Terminal event or integration error: the lane is finished
+			// now. (A lane whose final step merely covered the span is
+			// finished too, but discovers it — and records LastStep —
+			// via attemptPrepare on its next round, exactly as the
+			// scalar loop would.)
+			ln.running = false
+			b.active--
+		}
+	}
+	return b.active
+}
+
+// Drain runs Round until every lane that can finish without caller
+// intervention has finished — i.e. until no lanes are running.
+func (b *BatchIntegrator) Drain() {
+	for b.Round() > 0 {
+	}
+}
+
+// Take returns the finished lane's segment outcome and returns the lane
+// to the idle pool. Result.Hits (including Y snapshots) aliases lane
+// scratch valid until the lane's next Start. Take panics if the lane is
+// still running or was never armed.
+func (b *BatchIntegrator) Take(lane int) (Result, error) {
+	ln := &b.lanes[lane]
+	if ln.running {
+		panic(fmt.Sprintf("ode: BatchIntegrator.Take on running lane %d", lane))
+	}
+	if ln.s.y == nil {
+		panic(fmt.Sprintf("ode: BatchIntegrator.Take on lane %d that was never armed", lane))
+	}
+	res, err := ln.s.res, ln.s.err
+	ln.s = segState{}
+	return res, err
+}

@@ -1,0 +1,260 @@
+package ode
+
+import (
+	"math"
+	"testing"
+)
+
+// stiffish is a mildly stiff 2-state system that forces step rejections
+// at loose tolerances, exercising the per-lane reject path in lockstep.
+func stiffish(k float64) RHS {
+	return func(_ float64, y, dydt []float64) {
+		dydt[0] = y[1]
+		dydt[1] = -k*y[0] - 0.5*y[1]
+	}
+}
+
+// scalarTrace integrates one problem with a private Integrator and
+// records every accepted (t, y...) pair plus the final Result.
+func scalarTrace(t *testing.T, f RHS, t0, t1 float64, y0 []float64, opts Options) ([]float64, Result, []float64) {
+	t.Helper()
+	var trace []float64
+	o := opts
+	o.OnStep = func(tt float64, yy []float64) {
+		trace = append(trace, tt)
+		trace = append(trace, yy...)
+	}
+	y := append([]float64(nil), y0...)
+	res, err := NewIntegrator().Integrate(f, t0, t1, y, o)
+	if err != nil {
+		t.Fatalf("scalar integrate: %v", err)
+	}
+	return y, res, trace
+}
+
+// TestBatchLockstepBitIdenticalToScalar runs W heterogeneous lanes —
+// different RHS stiffness, spans and initial states, so lanes accept,
+// reject and finish on different rounds — and requires every lane's
+// final state, step/reject counts and full accepted-step trace to be
+// bit-identical to a private scalar integration of the same problem.
+func TestBatchLockstepBitIdenticalToScalar(t *testing.T) {
+	const W, dim = 5, 2
+	type lane struct {
+		f      RHS
+		t0, t1 float64
+		y0     []float64
+		opts   Options
+	}
+	lanes := make([]lane, W)
+	for l := 0; l < W; l++ {
+		k := 1.0 + 37.0*float64(l) // lane 0 smooth … lane 4 oscillatory
+		lanes[l] = lane{
+			f:  stiffish(k),
+			t0: 0, t1: 1.0 + 0.3*float64(l),
+			y0:   []float64{1 + 0.1*float64(l), -0.2 * float64(l)},
+			opts: Options{RTol: 1e-6, ATol: 1e-9, InitialStep: 0.05},
+		}
+	}
+
+	// Reference: scalar integrations.
+	wantY := make([][]float64, W)
+	wantRes := make([]Result, W)
+	wantTrace := make([][]float64, W)
+	for l, ln := range lanes {
+		wantY[l], wantRes[l], wantTrace[l] = scalarTrace(t, ln.f, ln.t0, ln.t1, ln.y0, ln.opts)
+	}
+
+	// Batched: one shared SoA slab, lanes advanced in lockstep rounds.
+	b := NewBatchIntegrator(W, dim)
+	ySlab := make([]float64, W*dim)
+	gotTrace := make([][]float64, W)
+	for l, ln := range lanes {
+		y := ySlab[l*dim : (l+1)*dim : (l+1)*dim]
+		copy(y, ln.y0)
+		o := ln.opts
+		l := l
+		o.OnStep = func(tt float64, yy []float64) {
+			gotTrace[l] = append(gotTrace[l], tt)
+			gotTrace[l] = append(gotTrace[l], yy...)
+		}
+		if err := b.Start(l, ln.f, ln.t0, ln.t1, y, o); err != nil {
+			t.Fatalf("Start lane %d: %v", l, err)
+		}
+	}
+	rounds := 0
+	for b.Round() > 0 {
+		rounds++
+		if rounds > 100000 {
+			t.Fatal("lockstep rounds did not converge")
+		}
+	}
+
+	for l := range lanes {
+		res, err := b.Take(l)
+		if err != nil {
+			t.Fatalf("lane %d: %v", l, err)
+		}
+		if res.Steps != wantRes[l].Steps || res.Rejected != wantRes[l].Rejected {
+			t.Errorf("lane %d: steps/rejected = %d/%d, scalar %d/%d",
+				l, res.Steps, res.Rejected, wantRes[l].Steps, wantRes[l].Rejected)
+		}
+		if res.T != wantRes[l].T || res.LastStep != wantRes[l].LastStep {
+			t.Errorf("lane %d: T/LastStep = %g/%g, scalar %g/%g",
+				l, res.T, res.LastStep, wantRes[l].T, wantRes[l].LastStep)
+		}
+		got := ySlab[l*dim : (l+1)*dim]
+		for i := range got {
+			if got[i] != wantY[l][i] {
+				t.Errorf("lane %d: y[%d] = %g, scalar %g (diff %g)",
+					l, i, got[i], wantY[l][i], got[i]-wantY[l][i])
+			}
+		}
+		if len(gotTrace[l]) != len(wantTrace[l]) {
+			t.Fatalf("lane %d: trace length %d, scalar %d", l, len(gotTrace[l]), len(wantTrace[l]))
+		}
+		for i := range gotTrace[l] {
+			if gotTrace[l][i] != wantTrace[l][i] {
+				t.Fatalf("lane %d: trace[%d] = %g, scalar %g", l, i, gotTrace[l][i], wantTrace[l][i])
+			}
+		}
+	}
+}
+
+// TestBatchEventsAndRestartBitIdentical drives lanes through terminal
+// events and segment restarts — the divergence/rejoin pattern the sim
+// layer uses — and checks bit-identity of event times, rewound states
+// and post-restart integration against the scalar path.
+func TestBatchEventsAndRestartBitIdentical(t *testing.T) {
+	const W, dim = 3, 1
+	decay := func(rate float64) RHS {
+		return func(_ float64, y, dydt []float64) { dydt[0] = -rate * y[0] }
+	}
+	threshold := func(level float64) Event {
+		return Event{
+			Name:     "below",
+			G:        func(_ float64, y []float64) float64 { return y[0] - level },
+			Terminal: true, Direction: -1,
+		}
+	}
+	rates := []float64{1.0, 2.5, 0.7}
+	levels := []float64{0.5, 0.3, 0.8}
+
+	type seg struct {
+		t, y float64
+		hit  bool
+		hitT float64
+	}
+	runScalar := func(l int) []seg {
+		in := NewIntegrator()
+		y := []float64{1}
+		tt := 0.0
+		var segs []seg
+		for s := 0; s < 3; s++ {
+			res, err := in.Integrate(decay(rates[l]), tt, tt+2, y, Options{
+				RTol: 1e-7, ATol: 1e-10,
+				Events: []Event{threshold(levels[l] * math.Pow(0.5, float64(s)))},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tt = res.T
+			segs = append(segs, seg{t: res.T, y: y[0], hit: res.Stopped, hitT: func() float64 {
+				if len(res.Hits) > 0 {
+					return res.Hits[0].T
+				}
+				return math.NaN()
+			}()})
+			if !res.Stopped {
+				break
+			}
+		}
+		return segs
+	}
+
+	want := make([][]seg, W)
+	for l := 0; l < W; l++ {
+		want[l] = runScalar(l)
+	}
+
+	b := NewBatchIntegrator(W, dim)
+	ySlab := make([]float64, W*dim)
+	got := make([][]seg, W)
+	segIdx := make([]int, W)
+	start := func(l int) {
+		s := segIdx[l]
+		tt := 0.0
+		if s > 0 {
+			tt = got[l][s-1].t
+		}
+		if err := b.Start(l, decay(rates[l]), tt, tt+2, ySlab[l:l+1], Options{
+			RTol: 1e-7, ATol: 1e-10,
+			Events: []Event{threshold(levels[l] * math.Pow(0.5, float64(s)))},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	retired := make([]bool, W)
+	activeRuns := W
+	for l := 0; l < W; l++ {
+		ySlab[l] = 1
+		start(l)
+	}
+	for activeRuns > 0 {
+		b.Round()
+		for l := 0; l < W; l++ {
+			if retired[l] || b.Running(l) {
+				continue
+			}
+			res, err := b.Take(l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sg := seg{t: res.T, y: ySlab[l], hit: res.Stopped, hitT: math.NaN()}
+			if len(res.Hits) > 0 {
+				sg.hitT = res.Hits[0].T
+			}
+			got[l] = append(got[l], sg)
+			segIdx[l]++
+			if res.Stopped && segIdx[l] < 3 {
+				start(l)
+			} else {
+				retired[l] = true
+				activeRuns--
+			}
+		}
+	}
+
+	for l := 0; l < W; l++ {
+		if len(got[l]) != len(want[l]) {
+			t.Fatalf("lane %d: %d segments, scalar %d", l, len(got[l]), len(want[l]))
+		}
+		for s := range got[l] {
+			g, w := got[l][s], want[l][s]
+			if g.t != w.t || g.y != w.y || g.hit != w.hit ||
+				(g.hitT != w.hitT && !(math.IsNaN(g.hitT) && math.IsNaN(w.hitT))) {
+				t.Errorf("lane %d seg %d: got %+v, scalar %+v", l, s, g, w)
+			}
+		}
+	}
+}
+
+// TestBatchWidthOneMatchesScalar pins the degenerate W=1 case.
+func TestBatchWidthOneMatchesScalar(t *testing.T) {
+	y := []float64{1, 0}
+	wantY, wantRes, _ := scalarTrace(t, stiffish(40), 0, 3, y, Options{RTol: 1e-6, ATol: 1e-9})
+
+	b := NewBatchIntegrator(1, 2)
+	yb := []float64{1, 0}
+	if err := b.Start(0, stiffish(40), 0, 3, yb, Options{RTol: 1e-6, ATol: 1e-9}); err != nil {
+		t.Fatal(err)
+	}
+	b.Drain()
+	res, err := b.Take(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if yb[0] != wantY[0] || yb[1] != wantY[1] || res.Steps != wantRes.Steps || res.T != wantRes.T {
+		t.Errorf("W=1 batch diverged from scalar: y=%v want %v, steps %d want %d",
+			yb, wantY, res.Steps, wantRes.Steps)
+	}
+}

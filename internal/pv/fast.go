@@ -58,6 +58,73 @@ func expm1(x float64) float64 {
 // simulated spans.
 const memoCap = 4096
 
+// VocMemo is a per-irradiance open-circuit-voltage memo shareable by
+// every Solver in a batch whose arrays are value-equal. Voc is a pure
+// function of the array parameters and the irradiance — solveVoc always
+// cold-starts from the analytic estimate, unlike the MPP memo whose
+// golden search rides the owning solver's warm Newton state — so a shared
+// entry is bit-identical no matter which lane computed it first, and
+// sharing cannot perturb per-lane results. Sharing is guarded by Array
+// value equality in Solver.ShareVoc. A VocMemo is not safe for concurrent
+// use; share it only among solvers driven by one goroutine (one batch).
+type VocMemo struct {
+	arr Array
+	voc map[float64]float64
+}
+
+// NewVocMemo returns an empty shared memo bound to the array's current
+// parameter values.
+func NewVocMemo(a *Array) *VocMemo {
+	return &VocMemo{arr: *a, voc: make(map[float64]float64, 8)}
+}
+
+// ShareVoc attaches the solver's open-circuit-voltage memoisation to the
+// shared memo and reports whether it did: attachment requires the
+// solver's array to be value-equal to the memo's, since each entry is a
+// function of those parameter values.
+func (s *Solver) ShareVoc(m *VocMemo) bool {
+	if m == nil || *s.a != m.arr {
+		return false
+	}
+	s.voc = m.voc
+	return true
+}
+
+// MPPCache memoises the exact Array.MaximumPowerPoint solve keyed by
+// (array parameter values, irradiance). Batch setup paths use it to
+// collapse the per-run default-voltage solves — the single most expensive
+// per-run setup cost — into one solve per distinct array across a batch.
+// The exact solve is a pure function of the key, so cached replies are
+// bit-identical to fresh ones. Not safe for concurrent use.
+type MPPCache struct {
+	m map[mppCacheKey]MPP
+}
+
+type mppCacheKey struct {
+	arr Array
+	g   float64
+}
+
+// MaximumPowerPoint returns the exact MPP for the array at irradiance g,
+// computing it at most once per distinct (array values, g).
+func (c *MPPCache) MaximumPowerPoint(a *Array, g float64) (MPP, error) {
+	key := mppCacheKey{arr: *a, g: g}
+	if m, ok := c.m[key]; ok {
+		return m, nil
+	}
+	m, err := a.MaximumPowerPoint(g)
+	if err != nil {
+		return MPP{}, err
+	}
+	if c.m == nil {
+		c.m = make(map[mppCacheKey]MPP, 4)
+	} else if len(c.m) >= memoCap {
+		clear(c.m)
+	}
+	c.m[key] = m
+	return m, nil
+}
+
 // NewSolver returns an accelerated solver for the array. The array
 // parameters must not be mutated while the solver is in use (memoised
 // results would go stale).
@@ -143,7 +210,9 @@ func (s *Solver) OpenCircuitVoltage(g float64) (float64, error) {
 		return 0, err
 	}
 	if len(s.voc) >= memoCap {
-		s.voc = make(map[float64]float64)
+		// Clear in place rather than reallocating so a memo attached via
+		// ShareVoc stays shared across its batch after eviction.
+		clear(s.voc)
 	}
 	s.voc[g] = v
 	return v, nil

@@ -9,6 +9,7 @@ import (
 	"pnps/internal/pv"
 	"pnps/internal/sim"
 	"pnps/internal/soc"
+	"pnps/internal/testutil"
 )
 
 // TestAssembleMatchesManualAssembly is the golden-equality test for the
@@ -52,25 +53,7 @@ func TestAssembleMatchesManualAssembly(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if manual.Interrupts != declarative.Interrupts ||
-		manual.Brownouts != declarative.Brownouts ||
-		manual.Instructions != declarative.Instructions ||
-		manual.FinalVC != declarative.FinalVC {
-		t.Fatalf("scalar results diverged: %+v vs %+v",
-			[4]float64{float64(manual.Interrupts), float64(manual.Brownouts), manual.Instructions, manual.FinalVC},
-			[4]float64{float64(declarative.Interrupts), float64(declarative.Brownouts), declarative.Instructions, declarative.FinalVC})
-	}
-	mt, mv := manual.VC.Times(), manual.VC.Values()
-	dt, dv := declarative.VC.Times(), declarative.VC.Values()
-	if len(mt) != len(dt) {
-		t.Fatalf("VC trace lengths differ: manual %d vs scenario %d", len(mt), len(dt))
-	}
-	for i := range mt {
-		if mt[i] != dt[i] || mv[i] != dv[i] {
-			t.Fatalf("VC traces diverge at sample %d: (%g,%g) vs (%g,%g)",
-				i, mt[i], mv[i], dt[i], dv[i])
-		}
-	}
+	testutil.RequireEqualResults(t, "scenario-vs-manual", declarative, manual)
 	if manual.Interrupts == 0 {
 		t.Fatal("golden scenario produced no interrupts; equality not exercised")
 	}

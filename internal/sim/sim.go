@@ -191,6 +191,29 @@ func (r *Result) StabilityBands() []float64 {
 	return bands
 }
 
+// segKind distinguishes the two integration segment shapes the discrete-
+// event loop issues: monitored main segments (threshold/brownout events,
+// per-step observer dispatch) and unmonitored interrupt-delay segments.
+type segKind int
+
+const (
+	segMain segKind = iota
+	segDelay
+)
+
+// runState is the resumption point of the segment state machine between
+// integrations.
+type runState int
+
+const (
+	// stSegment: advance due discrete actions and arm the next main
+	// segment (or finish the run).
+	stSegment runState = iota
+	// stTail: run the post-event tail — the unmonitored-interval brownout
+	// level check and the latched-crossing replay loop.
+	stTail
+)
+
 // engine is the per-run mutable state.
 type engine struct {
 	cfg      Config
@@ -242,6 +265,20 @@ type engine struct {
 	availStarted bool
 	lastAvailT   float64
 
+	// Segment state machine (see step/settle): the discrete-event loop is
+	// factored so the engine alternates between "arm an integration
+	// request" and "settle its result", letting the scalar driver (run)
+	// and the lockstep batch driver (RunBatch) share the identical
+	// per-run code path.
+	state          runState
+	tEnd           float64
+	nextTick       float64 // governor tick time (governor mode only)
+	rebootAt       float64
+	pendArmed      bool
+	pendKind       segKind
+	pendT0, pendT1 float64
+	pendWhich      core.Crossing // crossing being serviced across a delay segment
+
 	res Result
 }
 
@@ -250,6 +287,20 @@ func Run(cfg Config) (*Result, error) {
 	if err := validate(&cfg); err != nil {
 		return nil, err
 	}
+	e, err := newEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.run(); err != nil {
+		return nil, err
+	}
+	return e.finish(), nil
+}
+
+// newEngine builds the per-run engine for an already-validated config:
+// storage/solver/observer wiring, monitor hardware, and the hoisted
+// integration closures.
+func newEngine(cfg Config) (*engine, error) {
 	e := &engine{
 		cfg:      cfg,
 		src:      cfg.Source,
@@ -351,10 +402,13 @@ func Run(cfg Config) (*Result, error) {
 		Terminal:  true,
 	}
 
-	if err := e.run(); err != nil {
-		return nil, err
-	}
+	e.tEnd = e.cfg.Duration
+	e.rebootAt = -1
+	return e, nil
+}
 
+// finish fills the Result from the engine's terminal state.
+func (e *engine) finish() *Result {
 	e.res.Instructions = e.instrBase + e.platform.Instructions()
 	e.res.Frames = e.framesBase + e.platform.Frames()
 	e.res.LifetimeSeconds = e.aliveFor
@@ -365,12 +419,19 @@ func Run(cfg Config) (*Result, error) {
 	if e.ctrl != nil {
 		e.res.ControllerStats = e.ctrl.Stats()
 		e.res.Interrupts = e.hw.Interrupts()
-		e.res.CPUOverhead = e.hw.CPUOverhead(cfg.Duration)
+		e.res.CPUOverhead = e.hw.CPUOverhead(e.cfg.Duration)
 	}
-	return &e.res, nil
+	return &e.res
 }
 
-func validate(cfg *Config) error {
+func validate(cfg *Config) error { return validateCached(cfg, nil) }
+
+// validateCached is validate with an optional shared exact-MPP cache: the
+// TargetVolts default requires an exact MPP solve — the most expensive
+// part of per-run setup — and a batch of runs over value-equal arrays
+// needs it only once. The cache returns bit-identical values to the
+// uncached solve, so scalar and batched validation agree exactly.
+func validateCached(cfg *Config, mpps *pv.MPPCache) error {
 	if cfg.Source == nil {
 		if cfg.Array == nil || cfg.Profile == nil {
 			return errors.New("sim: set Config.Source, or Config.Array and Config.Profile")
@@ -429,7 +490,13 @@ func validate(cfg *Config) error {
 	}
 	if cfg.TargetVolts == 0 {
 		if cfg.Array != nil {
-			m, err := cfg.Array.MaximumPowerPoint(pv.StandardIrradiance)
+			var m pv.MPP
+			var err error
+			if mpps != nil {
+				m, err = mpps.MaximumPowerPoint(cfg.Array, pv.StandardIrradiance)
+			} else {
+				m, err = cfg.Array.MaximumPowerPoint(pv.StandardIrradiance)
+			}
 			if err != nil {
 				return err
 			}
@@ -552,135 +619,252 @@ func (e *engine) sampleAvailable(t float64) {
 	}
 }
 
-// run is the outer discrete-event loop.
+// run is the scalar driver of the segment state machine: alternate
+// between step (arm the next integration request) and settle (absorb its
+// result) until the run completes. The batched driver (RunBatch) walks
+// the identical step/settle sequence per lane, interleaving the
+// integrations of W lanes through an ode.BatchIntegrator — which is why
+// batched results are bit-identical to this loop by construction.
 func (e *engine) run() error {
-	tEnd := e.cfg.Duration
-	nextTick := 0.0 // governor tick time (governor mode only)
-	var rebootAt float64 = -1
+	for {
+		if !e.pendArmed {
+			more, err := e.step()
+			if err != nil {
+				return err
+			}
+			if !more {
+				return nil
+			}
+		}
+		kind, t0 := e.pendKind, e.pendT0
+		res, err := e.integ.Integrate(e.rhsFn, e.pendT0, e.pendT1, e.stateBuf(), e.pendOptions())
+		if err != nil {
+			return e.wrapSegErr(kind, t0, err)
+		}
+		if err := e.settle(res); err != nil {
+			return err
+		}
+	}
+}
 
-	for e.now < tEnd {
+// wrapSegErr wraps an integration failure with the segment's context,
+// preserving the historical messages of the main and delay paths.
+func (e *engine) wrapSegErr(kind segKind, t0 float64, err error) error {
+	if kind == segDelay {
+		return fmt.Errorf("sim: interrupt-delay integration failed: %w", err)
+	}
+	return fmt.Errorf("sim: integration failed at t=%g: %w", t0, err)
+}
+
+// step advances discrete-event work until an integration segment is
+// armed (returns true; integrate pendT0..pendT1 with pendOptions and the
+// state from stateBuf, then call settle) or the run completes (returns
+// false; finish may be called).
+func (e *engine) step() (bool, error) {
+	for {
+		switch e.state {
+		case stTail:
+			if err := e.runTail(); err != nil {
+				return false, err
+			}
+			if e.pendArmed {
+				return true, nil // a replayed service needs its delay segment
+			}
+			e.state = stSegment
+		case stSegment:
+			if !e.nextSegment() {
+				// Final bookkeeping sample.
+				e.record(e.now, e.vc)
+				return false, nil
+			}
+			return true, nil
+		}
+	}
+}
+
+// nextSegment performs the due discrete actions (governor tick, reboot)
+// and arms the next main integration segment. It returns false when the
+// simulated span is covered.
+func (e *engine) nextSegment() bool {
+	for {
+		if !(e.now < e.tEnd) {
+			return false
+		}
 		// Governor tick due exactly now.
-		if e.gov != nil && e.alive && e.now >= nextTick {
+		if e.gov != nil && e.alive && e.now >= e.nextTick {
 			e.governorTick()
-			nextTick = e.now + e.gov.SamplingPeriod()
+			e.nextTick = e.now + e.gov.SamplingPeriod()
 		}
 		// Reboot due now — but only if the supply is still healthy; the
 		// harvest may have collapsed again during the cooldown, in which
 		// case we disarm and wait for the next recovery crossing.
-		if !e.alive && rebootAt >= 0 && e.now >= rebootAt {
-			rebootAt = -1
+		if !e.alive && e.rebootAt >= 0 && e.now >= e.rebootAt {
+			e.rebootAt = -1
 			if e.vc >= e.cfg.RestartVolts {
 				e.reboot()
 				if e.gov != nil {
-					nextTick = e.now
+					e.nextTick = e.now
 					continue
 				}
 			}
 		}
 
 		// Choose the next forced stop.
-		segEnd := tEnd
-		if e.gov != nil && e.alive && nextTick < segEnd {
-			segEnd = nextTick
+		segEnd := e.tEnd
+		if e.gov != nil && e.alive && e.nextTick < segEnd {
+			segEnd = e.nextTick
 		}
 		if c, ok := e.platform.NextCompletion(); ok && e.alive && c < segEnd {
 			segEnd = c
 		}
-		if !e.alive && rebootAt >= 0 && rebootAt < segEnd {
-			segEnd = rebootAt
+		if !e.alive && e.rebootAt >= 0 && e.rebootAt < segEnd {
+			segEnd = e.rebootAt
 		}
 		if segEnd <= e.now {
 			segEnd = math.Nextafter(e.now, math.Inf(1))
 		}
+		e.pendArmed = true
+		e.pendKind = segMain
+		e.pendT0, e.pendT1 = e.now, segEnd
+		return true
+	}
+}
 
-		// Integrate the segment with the persistent stepper, the hoisted
-		// closures and the reused event/state buffers.
-		res, err := e.integ.Integrate(e.rhsFn, e.now, segEnd, e.stateBuf(), ode.Options{
-			// Resume at the step size established by the previous segment
-			// (zero on the first segment selects the default heuristic):
-			// interrupt-driven runs integrate thousands of short segments,
-			// and regrowing from the span/100 default each time costs
-			// several extra RHS evaluations per segment.
-			InitialStep: e.lastH,
-			MaxStep:     e.cfg.MaxStep,
-			RTol:        1e-6,
-			ATol:        1e-7,
-			Events:      e.buildEvents(),
-			OnStep:      e.onStepFn,
-		})
-		if err != nil {
-			return fmt.Errorf("sim: integration failed at t=%g: %w", e.now, err)
-		}
-		e.lastH = res.LastStep
-		// Account alive time across the integrated span.
-		if e.alive {
-			e.aliveFor += res.T - e.now
-		}
-		e.now = res.T
-		e.vc = e.y[0]
-		if e.alive {
-			if err := e.platform.Advance(e.now); err != nil {
-				return err
-			}
-		}
+// pendOptions builds the ODE options for the armed segment. Main
+// segments are monitored (threshold/brownout events, per-step observer
+// dispatch); interrupt-delay segments integrate blind — the hardware has
+// latched the edge. Both resume at the step size established by the
+// previous segment (zero on the first selects the default heuristic):
+// interrupt-driven runs integrate thousands of short segments, and
+// regrowing from the span/100 default each time costs several extra RHS
+// evaluations per segment.
+func (e *engine) pendOptions() ode.Options {
+	o := ode.Options{
+		InitialStep: e.lastH,
+		MaxStep:     e.cfg.MaxStep,
+		RTol:        1e-6,
+		ATol:        1e-7,
+	}
+	if e.pendKind == segMain {
+		o.Events = e.buildEvents()
+		o.OnStep = e.onStepFn
+	}
+	return o
+}
 
-		if res.Stopped {
-			// A terminal event fired: find it (the last hit).
-			hit := res.Hits[len(res.Hits)-1]
-			switch hit.Name {
-			case "brownout":
-				e.brownout()
-			case "recover":
-				rebootAt = e.now + e.cfg.RebootSeconds
-				if earliest := e.deadSince + e.cfg.RestartCooldown; rebootAt < earliest {
-					rebootAt = earliest
-				}
-			case "vlow":
-				if err := e.onThresholdInterrupt(core.CrossLow); err != nil {
-					return err
-				}
-			case "vhigh":
-				if err := e.onThresholdInterrupt(core.CrossHigh); err != nil {
-					return err
-				}
-			default:
-				return fmt.Errorf("sim: unknown terminal event %q", hit.Name)
-			}
+// settle absorbs the result of the armed segment's integration and
+// advances the state machine.
+func (e *engine) settle(res ode.Result) error {
+	kind := e.pendKind
+	e.pendArmed = false
+	switch kind {
+	case segMain:
+		if err := e.settleMain(res); err != nil {
+			return err
 		}
-
-		// Brownouts that slip through unmonitored intervals (e.g. the
-		// interrupt-delay integration) are caught by a level check.
-		if e.alive && e.vc < soc.MinOperatingVolts-1e-6 {
-			e.brownout()
+		// settleMain may have armed an interrupt-delay segment (a service
+		// with a propagation delay); the tail runs once that settles.
+		if !e.pendArmed {
+			e.state = stTail
 		}
+	case segDelay:
+		if err := e.settleDelay(res); err != nil {
+			return err
+		}
+		e.state = stTail
+	}
+	return nil
+}
 
-		// Replay crossings latched while the platform was busy: once the
-		// actuation completes, the comparator outputs are level-checked
-		// and any asserted threshold is serviced immediately. Each service
-		// slides the thresholds by Vq, so this loop terminates.
-		for e.ctrl != nil && e.alive {
-			if e.vc < soc.MinOperatingVolts-1e-6 {
-				e.brownout()
-				break
-			}
-			if _, busy := e.platform.NextCompletion(); busy {
-				break
-			}
-			if e.vc <= e.hw.Low.Threshold() {
-				if err := e.onThresholdInterrupt(core.CrossLow); err != nil {
-					return err
-				}
-			} else if e.vc >= e.hw.High.Threshold() {
-				if err := e.onThresholdInterrupt(core.CrossHigh); err != nil {
-					return err
-				}
-			} else {
-				break
-			}
+// settleMain finishes a monitored main segment: clock/state carry,
+// platform advance and terminal-event dispatch.
+func (e *engine) settleMain(res ode.Result) error {
+	e.lastH = res.LastStep
+	// Account alive time across the integrated span.
+	if e.alive {
+		e.aliveFor += res.T - e.now
+	}
+	e.now = res.T
+	e.vc = e.y[0]
+	if e.alive {
+		if err := e.platform.Advance(e.now); err != nil {
+			return err
 		}
 	}
-	// Final bookkeeping sample.
-	e.record(e.now, e.vc)
+	if res.Stopped {
+		// A terminal event fired: find it (the last hit).
+		hit := res.Hits[len(res.Hits)-1]
+		switch hit.Name {
+		case "brownout":
+			e.brownout()
+		case "recover":
+			e.rebootAt = e.now + e.cfg.RebootSeconds
+			if earliest := e.deadSince + e.cfg.RestartCooldown; e.rebootAt < earliest {
+				e.rebootAt = earliest
+			}
+		case "vlow":
+			return e.beginService(core.CrossLow)
+		case "vhigh":
+			return e.beginService(core.CrossHigh)
+		default:
+			return fmt.Errorf("sim: unknown terminal event %q", hit.Name)
+		}
+	}
+	return nil
+}
+
+// settleDelay finishes an interrupt-delay segment and completes the
+// service it was integrating towards.
+func (e *engine) settleDelay(res ode.Result) error {
+	e.lastH = res.LastStep
+	e.aliveFor += res.T - e.now
+	e.now = res.T
+	e.vc = e.y[0]
+	if err := e.platform.Advance(e.now); err != nil {
+		return err
+	}
+	return e.completeService(e.pendWhich)
+}
+
+// runTail runs the post-segment tail. A replayed service with an
+// interrupt delay arms a delay segment and suspends the tail; resuming
+// the whole tail after that service completes is equivalent to the
+// historical nested flow because the tail's opening level check is
+// exactly the replay loop's first clause.
+func (e *engine) runTail() error {
+	// Brownouts that slip through unmonitored intervals (e.g. the
+	// interrupt-delay integration) are caught by a level check.
+	if e.alive && e.vc < soc.MinOperatingVolts-1e-6 {
+		e.brownout()
+	}
+
+	// Replay crossings latched while the platform was busy: once the
+	// actuation completes, the comparator outputs are level-checked
+	// and any asserted threshold is serviced immediately. Each service
+	// slides the thresholds by Vq, so this loop terminates.
+	for e.ctrl != nil && e.alive {
+		if e.vc < soc.MinOperatingVolts-1e-6 {
+			e.brownout()
+			break
+		}
+		if _, busy := e.platform.NextCompletion(); busy {
+			break
+		}
+		if e.vc <= e.hw.Low.Threshold() {
+			if err := e.beginService(core.CrossLow); err != nil {
+				return err
+			}
+		} else if e.vc >= e.hw.High.Threshold() {
+			if err := e.beginService(core.CrossHigh); err != nil {
+				return err
+			}
+		} else {
+			break
+		}
+		if e.pendArmed {
+			return nil // suspend: the service's delay segment must integrate first
+		}
+	}
 	return nil
 }
 
@@ -729,36 +913,30 @@ func (e *engine) governorTick() {
 	e.res.GovernorTicks++
 }
 
-// onThresholdInterrupt services a Vlow/Vhigh crossing: integrates the
-// interrupt latency, runs the controller, actuates the OPP change and
-// reprograms the monitor thresholds.
-func (e *engine) onThresholdInterrupt(which core.Crossing) error {
+// beginService starts servicing a Vlow/Vhigh crossing. The analogue
+// crossing has happened; the ISR runs after the propagation + dispatch
+// delay, so when the channel has one the supply is first integrated
+// through it without threshold events (the hardware latches the edge) —
+// beginService arms that delay segment and the service completes in
+// settleDelay. With no delay the service completes immediately.
+func (e *engine) beginService(which core.Crossing) error {
 	ch := e.hw.Low
 	if which == core.CrossHigh {
 		ch = e.hw.High
 	}
-	// The analogue crossing has happened; the ISR runs after the
-	// propagation + dispatch delay. Integrate the supply through the
-	// delay without threshold events (the hardware latches the edge).
-	delay := ch.InterruptDelay()
-	if delay > 0 {
-		res, err := e.integ.Integrate(e.rhsFn, e.now, e.now+delay, e.stateBuf(), ode.Options{
-			InitialStep: e.lastH,
-			MaxStep:     e.cfg.MaxStep,
-			RTol:        1e-6,
-			ATol:        1e-7,
-		})
-		if err != nil {
-			return fmt.Errorf("sim: interrupt-delay integration failed: %w", err)
-		}
-		e.lastH = res.LastStep
-		e.aliveFor += res.T - e.now
-		e.now = res.T
-		e.vc = e.y[0]
-		if err := e.platform.Advance(e.now); err != nil {
-			return err
-		}
+	if delay := ch.InterruptDelay(); delay > 0 {
+		e.pendArmed = true
+		e.pendKind = segDelay
+		e.pendT0, e.pendT1 = e.now, e.now+delay
+		e.pendWhich = which
+		return nil
 	}
+	return e.completeService(which)
+}
+
+// completeService runs the ISR for a threshold crossing: controller
+// decision, OPP actuation and threshold reprogramming.
+func (e *engine) completeService(which core.Crossing) error {
 	e.hw.RecordInterrupt()
 
 	d := e.ctrl.OnCrossing(which, e.now)

@@ -2,6 +2,7 @@ package study
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -12,6 +13,7 @@ import (
 	"pnps/internal/scenario"
 	"pnps/internal/sim"
 	"pnps/internal/soc"
+	"pnps/internal/testutil"
 )
 
 // supercapVsIdeal alternates runs between the ideal 47 mF capacitor and
@@ -45,17 +47,61 @@ func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
 	ref := mk(1)
 	for _, workers := range []int{2, 8} {
 		got := mk(workers)
-		if got.Summary != ref.Summary {
-			t.Fatalf("workers=%d summary diverged:\n%+v\nvs\n%+v", workers, got.Summary, ref.Summary)
+		testutil.RequireEqual(t, fmt.Sprintf("workers=%d summary", workers), got.Summary, ref.Summary)
+		for i := range ref.Results {
+			testutil.RequireEqualResults(t, fmt.Sprintf("workers=%d run %d", workers, i),
+				got.Results[i].Result, ref.Results[i].Result)
+		}
+	}
+}
+
+// TestCampaignBatchedEngineBitIdentical: a campaign executed on the
+// lockstep structure-of-arrays engine must reproduce the scalar
+// campaign bit for bit — summary, groups, merged histogram and every
+// per-run result — across pack boundaries (9 runs at width 4), at the
+// default width, and at any worker count. The Vary hook mixes storage
+// families, so packs hold heterogeneous lanes.
+func TestCampaignBatchedEngineBitIdentical(t *testing.T) {
+	base := scenario.MustLookup("stress-clouds")
+	base.Duration = 15
+	mk := func(engine string, width, workers int) *Outcome {
+		out, err := Campaign{
+			Base: base, Runs: 9, Seed: 23, Vary: supercapVsIdeal,
+			Group: func(k int, _ int64, _ scenario.Spec) string {
+				if k%2 == 0 {
+					return "ideal"
+				}
+				return "supercap"
+			},
+			Workers: workers, Engine: engine, BatchWidth: width,
+			VCHistBins: 32, VCHistLo: 4.0, VCHistHi: 6.0,
+		}.Run(context.Background())
+		if err != nil {
+			t.Fatalf("engine=%q width=%d workers=%d: %v", engine, width, workers, err)
+		}
+		return out
+	}
+	ref := mk("scalar", 0, 1)
+	for _, c := range []struct{ width, workers int }{{4, 1}, {0, 2}} {
+		got := mk("batched", c.width, c.workers)
+		label := fmt.Sprintf("batched w=%d workers=%d", c.width, c.workers)
+		testutil.RequireEqual(t, label+" summary", got.Summary, ref.Summary)
+		for i := range ref.Groups {
+			testutil.RequireEqual(t, fmt.Sprintf("%s group %q", label, ref.Groups[i].Name),
+				got.Groups[i], ref.Groups[i])
+		}
+		for i, w := range ref.VCHistogram.Bins {
+			testutil.RequireEqual(t, fmt.Sprintf("%s histogram bin %d", label, i),
+				got.VCHistogram.Bins[i], w)
 		}
 		for i := range ref.Results {
-			a, b := ref.Results[i].Result, got.Results[i].Result
-			if a.Instructions != b.Instructions || a.FinalVC != b.FinalVC ||
-				a.Interrupts != b.Interrupts || a.Brownouts != b.Brownouts ||
-				a.StorageEnergyEndJ != b.StorageEnergyEndJ {
-				t.Fatalf("workers=%d run %d diverged", workers, i)
-			}
+			testutil.RequireEqualResults(t, fmt.Sprintf("%s run %d", label, i),
+				got.Results[i].Result, ref.Results[i].Result)
 		}
+	}
+	if _, err := (Campaign{Base: base, Runs: 1, Engine: "warp"}).Run(context.Background()); err == nil ||
+		!strings.Contains(err.Error(), "unknown engine") {
+		t.Fatalf("unknown engine accepted: %v", err)
 	}
 }
 
@@ -109,18 +155,14 @@ func TestCampaignTraceFreeDeterministicAndBounded(t *testing.T) {
 	}
 	for _, workers := range []int{2, 8} {
 		got := mk(workers)
-		if got.Summary != ref.Summary {
-			t.Fatalf("workers=%d summary diverged:\n%+v\nvs\n%+v", workers, got.Summary, ref.Summary)
-		}
+		testutil.RequireEqual(t, fmt.Sprintf("workers=%d summary", workers), got.Summary, ref.Summary)
 		for i := range ref.Groups {
-			if got.Groups[i] != ref.Groups[i] {
-				t.Fatalf("workers=%d group %q diverged", workers, ref.Groups[i].Name)
-			}
+			testutil.RequireEqual(t, fmt.Sprintf("workers=%d group %q", workers, ref.Groups[i].Name),
+				got.Groups[i], ref.Groups[i])
 		}
 		for i, w := range ref.VCHistogram.Bins {
-			if got.VCHistogram.Bins[i] != w {
-				t.Fatalf("workers=%d histogram bin %d diverged", workers, i)
-			}
+			testutil.RequireEqual(t, fmt.Sprintf("workers=%d histogram bin %d", workers, i),
+				got.VCHistogram.Bins[i], w)
 		}
 	}
 }
@@ -167,10 +209,8 @@ func TestCampaignStabilityMatchesKeepSeries(t *testing.T) {
 	if kept.Results[0].Result.VC == nil {
 		t.Fatal("KeepSeries campaign did not retain series")
 	}
-	if free.Summary.Stability != kept.Summary.Stability {
-		t.Errorf("trace-free stability diverged from series-derived:\n%+v\nvs\n%+v",
-			free.Summary.Stability, kept.Summary.Stability)
-	}
+	testutil.RequireEqual(t, "trace-free vs series-derived stability",
+		free.Summary.Stability, kept.Summary.Stability)
 	if free.Summary.MinVC != kept.Summary.MinVC {
 		t.Error("trace-free MinVC diverged from series-retaining campaign")
 	}

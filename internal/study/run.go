@@ -3,6 +3,7 @@ package study
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"pnps/internal/batch"
 	"pnps/internal/scenario"
@@ -71,11 +72,51 @@ type TaskResult struct {
 	Hist *stats.Histogram
 }
 
-// runTasks executes the given ledger tasks over the batch engine.
+// runOutput is what one executed task contributes back: the full run
+// result plus its dwell histogram.
+type runOutput struct {
+	res  *sim.Result
+	hist *stats.Histogram
+}
+
+// failTask wraps a task failure with its ledger identity and, under
+// FailFast, cancels the remaining tasks.
+func (st Study) failTask(cancel context.CancelFunc, t Task, err error) error {
+	if st.FailFast {
+		cancel()
+	}
+	return fmt.Errorf("study task %d (cell %d, seed %d): %w", t.Index, t.Cell, t.Seed, err)
+}
+
+// instrument attaches the per-run online observers to an assembled
+// config: stability bands always (appended to any spec-level bands), the
+// dwell histogram when configured. Fresh slices per run — specs fan out
+// across workers and must not share mutable state. Returns the run's
+// histogram (nil when the study runs without one).
+func (st Study) instrument(cfg *sim.Config, bands []float64) (*stats.Histogram, error) {
+	cfg.StabilityBands = append(append([]float64(nil), cfg.StabilityBands...), bands...)
+	if st.VCHistBins <= 0 {
+		return nil, nil
+	}
+	tis, err := sim.NewTimeInStateObserver(sim.ChanVC, st.VCHistLo, st.VCHistHi, st.VCHistBins)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Observers = append(append([]sim.Observer(nil), cfg.Observers...), tis)
+	return tis.Hist, nil
+}
+
+// runTasks executes the given ledger tasks over the configured engine.
 // Specs, seeds and group labels are derived up front in task order,
-// deterministically; results come back in task order, so everything
-// downstream is bit-identical for any Workers value.
+// deterministically; results come back in task order, and the batched
+// engine is bit-identical to the scalar one by construction, so
+// everything downstream is bit-identical for any Workers value and
+// either engine.
 func (st Study) runTasks(ctx context.Context, p *plan, tasks []Task) ([]TaskResult, error) {
+	eng, ok := sim.EngineFor(st.Engine, st.BatchWidth)
+	if !ok {
+		return nil, fmt.Errorf("study: unknown engine %q", st.Engine)
+	}
 	bands := st.stabilityBands()
 	results := make([]TaskResult, len(tasks))
 	for i, t := range tasks {
@@ -84,43 +125,13 @@ func (st Study) runTasks(ctx context.Context, p *plan, tasks []Task) ([]TaskResu
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	type runOutput struct {
-		res  *sim.Result
-		hist *stats.Histogram
+	var outs []runOutput
+	var err error
+	if eng.Width() > 1 {
+		outs, err = st.runTasksBatched(ctx, cancel, eng, results, bands)
+	} else {
+		outs, err = st.runTasksScalar(ctx, cancel, results, bands)
 	}
-	outs, err := batch.Map(ctx, results, func(_ context.Context, r TaskResult) (runOutput, error) {
-		fail := func(err error) (runOutput, error) {
-			if st.FailFast {
-				cancel()
-			}
-			return runOutput{}, fmt.Errorf("study task %d (cell %d, seed %d): %w",
-				r.Task.Index, r.Task.Cell, r.Task.Seed, err)
-		}
-		cfg, err := r.Spec.Assemble(r.Task.Seed)
-		if err != nil {
-			return fail(err)
-		}
-		// Attach the per-run online observers: stability bands always
-		// (appended to any spec-level bands), the dwell histogram when
-		// configured. Fresh slices per run — specs fan out across
-		// workers and must not share mutable state.
-		cfg.StabilityBands = append(append([]float64(nil), cfg.StabilityBands...), bands...)
-		var out runOutput
-		if st.VCHistBins > 0 {
-			tis, err := sim.NewTimeInStateObserver(sim.ChanVC, st.VCHistLo, st.VCHistHi, st.VCHistBins)
-			if err != nil {
-				return fail(err)
-			}
-			out.hist = tis.Hist
-			cfg.Observers = append(append([]sim.Observer(nil), cfg.Observers...), tis)
-		}
-		res, err := sim.Run(cfg)
-		if err != nil {
-			return fail(err)
-		}
-		out.res = res
-		return out, nil
-	}, batch.Options{Workers: st.Workers, OnProgress: st.OnProgress})
 	if err != nil {
 		return nil, err
 	}
@@ -130,6 +141,101 @@ func (st Study) runTasks(ctx context.Context, p *plan, tasks []Task) ([]TaskResu
 		results[i].Hist = outs[i].hist
 	}
 	return results, nil
+}
+
+// runTasksScalar fans individual tasks over the worker pool, one
+// sim.Run per task — the reference execution path.
+func (st Study) runTasksScalar(ctx context.Context, cancel context.CancelFunc, results []TaskResult, bands []float64) ([]runOutput, error) {
+	return batch.Map(ctx, results, func(_ context.Context, r TaskResult) (runOutput, error) {
+		fail := func(err error) (runOutput, error) {
+			return runOutput{}, st.failTask(cancel, r.Task, err)
+		}
+		cfg, err := r.Spec.Assemble(r.Task.Seed)
+		if err != nil {
+			return fail(err)
+		}
+		var out runOutput
+		if out.hist, err = st.instrument(&cfg, bands); err != nil {
+			return fail(err)
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return fail(err)
+		}
+		out.res = res
+		return out, nil
+	}, batch.Options{Workers: st.Workers, OnProgress: st.OnProgress})
+}
+
+// runTasksBatched executes the ledger in lockstep lane packs of the
+// engine's width. Consecutive ledger tasks pack together — the ledger is
+// cell-major (task index = cell*Reps + rep), so a cell's repetitions
+// share a pack and therefore a batch's shared assembly and solver
+// caches; packs fan out over the worker pool exactly as scalar tasks do.
+// Results scatter back in task order, and each lane is bit-identical to
+// its scalar run, so the outcome does not depend on the engine, the
+// width or the worker count.
+func (st Study) runTasksBatched(ctx context.Context, cancel context.CancelFunc, eng sim.Engine, results []TaskResult, bands []float64) ([]runOutput, error) {
+	w := eng.Width()
+	type pack struct{ lo, hi int }
+	packs := make([]pack, 0, (len(results)+w-1)/w)
+	for lo := 0; lo < len(results); lo += w {
+		packs = append(packs, pack{lo, min(lo+w, len(results))})
+	}
+	var mu sync.Mutex
+	completed := 0
+	outs, err := batch.Map(ctx, packs, func(_ context.Context, g pack) ([]runOutput, error) {
+		rs := results[g.lo:g.hi]
+		fail := func(lane int, err error) ([]runOutput, error) {
+			return nil, st.failTask(cancel, rs[lane].Task, err)
+		}
+		specs := make([]scenario.Spec, len(rs))
+		seeds := make([]int64, len(rs))
+		for i := range rs {
+			specs[i], seeds[i] = rs[i].Spec, rs[i].Task.Seed
+		}
+		cfgs, err := scenario.AssembleGroup(specs, seeds)
+		if err != nil {
+			// Group assembly reports one error for the whole pack;
+			// re-assemble scalar-side to attribute it to its task.
+			for i := range rs {
+				if _, aerr := rs[i].Spec.Assemble(rs[i].Task.Seed); aerr != nil {
+					return fail(i, aerr)
+				}
+			}
+			return fail(0, err)
+		}
+		packOuts := make([]runOutput, len(rs))
+		for i := range cfgs {
+			if packOuts[i].hist, err = st.instrument(&cfgs[i], bands); err != nil {
+				return fail(i, err)
+			}
+		}
+		ress, errs := eng.RunGroup(cfgs)
+		for i, err := range errs {
+			if err != nil {
+				return fail(i, err)
+			}
+		}
+		for i := range ress {
+			packOuts[i].res = ress[i]
+		}
+		if st.OnProgress != nil {
+			mu.Lock()
+			completed += len(rs)
+			st.OnProgress(completed, len(results))
+			mu.Unlock()
+		}
+		return packOuts, nil
+	}, batch.Options{Workers: st.Workers})
+	if err != nil {
+		return nil, err
+	}
+	flat := make([]runOutput, 0, len(results))
+	for _, po := range outs {
+		flat = append(flat, po...)
+	}
+	return flat, nil
 }
 
 // Run executes the whole study matrix and aggregates it. Runs are
