@@ -36,7 +36,13 @@ import (
 )
 
 // defaultBench selects the benchmarks whose numbers the README quotes.
-const defaultBench = "BenchmarkStorageDispatch|BenchmarkSimControllerMinute|BenchmarkCampaignTraceFree|BenchmarkIntegratorSegment"
+const defaultBench = "BenchmarkStorageDispatch|BenchmarkSimControllerMinute|BenchmarkCampaignTraceFree|BenchmarkIntegratorSegment|BenchmarkBatchRound|BenchmarkSolveLanes"
+
+// defaultBenchtime is the default -benchtime. A fixed iteration count
+// (-Nx) keeps runs reproducible; 50 iterations keeps the short
+// benchmarks (a lockstep round, a segment) far enough above timer and
+// re-arm jitter that the -compare tolerance is meaningful.
+const defaultBenchtime = "50x"
 
 // Result is one parsed benchmark line.
 type Result struct {
@@ -83,7 +89,7 @@ func main() {
 	var (
 		out       = flag.String("out", "BENCH_campaign.json", "output JSON path (- for stdout)")
 		bench     = flag.String("bench", defaultBench, "benchmark regex passed to go test -bench")
-		benchtime = flag.String("benchtime", "5x", "go test -benchtime value (fixed -Nx iteration counts keep runs reproducible)")
+		benchtime = flag.String("benchtime", defaultBenchtime, "go test -benchtime value (fixed -Nx iteration counts keep runs reproducible)")
 		count     = flag.Int("count", 1, "go test -count value")
 		pkg       = flag.String("pkg", "./...", "package pattern to benchmark")
 		engineSel = flag.String("engine", "", "run engine-mode sub-benchmarks for this engine only: scalar or batched (default both; engine-agnostic benchmarks always run)")
@@ -100,6 +106,15 @@ func main() {
 		var err error
 		if baseline, err = readReport(*compare); err != nil {
 			fmt.Fprintf(os.Stderr, "pnbench: -compare %s: %v\n", *compare, err)
+			os.Exit(1)
+		}
+		// Refuse cross-benchtime comparisons before spending time on the
+		// run: an ns/op measured over 5 iterations and one measured over
+		// 50 are different experiments, and gating one against the other
+		// produces exactly the warmup/jitter false positives the fixed
+		// iteration counts exist to prevent.
+		if msg, ok := benchtimeMismatch(baseline.Benchtime, *benchtime); !ok {
+			fmt.Fprintf(os.Stderr, "pnbench: -compare %s: %s\n", *compare, msg)
 			os.Exit(1)
 		}
 	}
@@ -179,6 +194,21 @@ func main() {
 // shared runners jitter, so only slowdowns beyond 15% fail the gate.
 // Alloc counts are deterministic and tolerate no increase at all.
 const nsTolerance = 0.15
+
+// benchtimeMismatch decides whether a baseline recorded at benchtime
+// prev is comparable to a run at benchtime cur. ok is false — with a
+// diagnostic — when they differ or when the baseline predates benchtime
+// recording; per-iteration numbers from different iteration budgets are
+// different experiments and must not be gated against each other.
+func benchtimeMismatch(prev, cur string) (msg string, ok bool) {
+	switch {
+	case prev == "":
+		return fmt.Sprintf("baseline records no benchtime; regenerate it at -benchtime %s before comparing", cur), false
+	case prev != cur:
+		return fmt.Sprintf("baseline benchtime %s != run benchtime %s; rerun with -benchtime %s or regenerate the baseline", prev, cur, prev), false
+	}
+	return "", true
+}
 
 // readReport loads a previously written pnbench report.
 func readReport(path string) (Report, error) {

@@ -56,6 +56,28 @@ func TestCompareReports(t *testing.T) {
 	}
 }
 
+func TestBenchtimeMismatch(t *testing.T) {
+	if msg, ok := benchtimeMismatch("50x", "50x"); !ok || msg != "" {
+		t.Errorf("matching benchtimes refused: %q", msg)
+	}
+	if msg, ok := benchtimeMismatch("5x", "50x"); ok || !strings.Contains(msg, "5x") || !strings.Contains(msg, "50x") {
+		t.Errorf("mismatched benchtimes: ok=%v msg=%q", ok, msg)
+	}
+	if msg, ok := benchtimeMismatch("", "50x"); ok || !strings.Contains(msg, "no benchtime") {
+		t.Errorf("legacy baseline without benchtime: ok=%v msg=%q", ok, msg)
+	}
+}
+
+func TestDefaultBenchCoversBatchKernels(t *testing.T) {
+	// The README-quoted set must include the lockstep micro-benchmarks so
+	// the CI allocs gate watches Round and SolveLanes steady state.
+	for _, want := range []string{"BenchmarkBatchRound", "BenchmarkSolveLanes", "BenchmarkCampaignTraceFree"} {
+		if !strings.Contains(defaultBench, want) {
+			t.Errorf("defaultBench is missing %s", want)
+		}
+	}
+}
+
 func TestParseBenchLine(t *testing.T) {
 	pkg := "pnps/internal/sim"
 	r, ok := parseBenchLine(

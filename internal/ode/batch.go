@@ -25,12 +25,40 @@ type BatchIntegrator struct {
 	lanes      []batchLane
 	active     int
 	stepping   []int // scratch: lane indices attempting a step this round
+
+	// batch, when installed via SetBatchRHS, evaluates the stage
+	// derivatives of every StartBatched lane in one call per stage per
+	// round. The b* slices are the gathered (time, state, derivative,
+	// lane) arguments of that call, reused across rounds.
+	batch  BatchRHS
+	bts    []float64
+	bys    [][]float64
+	bdys   [][]float64
+	blanes []int
 }
 
 type batchLane struct {
 	in      Integrator
 	s       segState
 	running bool
+	// batched routes this lane's in-round stage evaluations through the
+	// integrator's BatchRHS instead of the lane's own scalar RHS.
+	batched bool
+}
+
+// BatchRHS evaluates the derivatives of several independent lanes in a
+// single call, letting an implementation share work across lanes (e.g.
+// advancing every lane's PV Newton solve in lockstep) that per-lane RHS
+// closures would repeat. For every j, EvalLanes must set
+// dys[j] = f_{lanes[j]}(ts[j], ys[j]) — exactly the values the lane's
+// scalar RHS would produce, since the integrator freely mixes the two
+// paths (the FSAL seed at Start always uses the scalar RHS) and batched
+// results are pinned bit-identical to scalar ones. lanes[j] is the
+// integrator lane index, identifying the per-lane model state; the
+// slices are only valid for the duration of the call and must not be
+// retained.
+type BatchRHS interface {
+	EvalLanes(ts []float64, ys, dys [][]float64, lanes []int)
 }
 
 // NewBatchIntegrator returns a lockstep integrator for `width` lanes of
@@ -45,6 +73,10 @@ func NewBatchIntegrator(width, dim int) *BatchIntegrator {
 		slab:     make([]float64, 11*width*dim),
 		lanes:    make([]batchLane, width),
 		stepping: make([]int, 0, width),
+		bts:      make([]float64, width),
+		bys:      make([][]float64, width),
+		bdys:     make([][]float64, width),
+		blanes:   make([]int, width),
 	}
 	for l := range b.lanes {
 		b.lanes[l].in.bindBuffers(b.slab, dim, width, l)
@@ -82,15 +114,43 @@ func (b *BatchIntegrator) Start(lane int, f RHS, t0, t1 float64, y []float64, op
 		return err
 	}
 	ln.running = true
+	ln.batched = false
 	b.active++
 	return nil
 }
 
+// SetBatchRHS installs br as the batched stage-derivative evaluator for
+// lanes armed through StartBatched. Installing nil uninstalls it (all
+// lanes evaluate through their scalar RHS). The evaluator may be
+// replaced only while no batched lane is running.
+func (b *BatchIntegrator) SetBatchRHS(br BatchRHS) { b.batch = br }
+
+// StartBatched arms lane exactly like Start, additionally routing its
+// in-round stage evaluations through the BatchRHS installed with
+// SetBatchRHS — one EvalLanes call per stage per round covers every
+// such lane. f is still required: it seeds the FSAL stage at segment
+// start and must agree exactly with the batch evaluator for this lane
+// (same model, same per-lane mutable state), since the two paths are
+// mixed within one segment.
+func (b *BatchIntegrator) StartBatched(lane int, f RHS, t0, t1 float64, y []float64, opts Options) error {
+	if b.batch == nil {
+		panic("ode: BatchIntegrator.StartBatched without SetBatchRHS")
+	}
+	if err := b.Start(lane, f, t0, t1, y, opts); err != nil {
+		return err
+	}
+	b.lanes[lane].batched = true
+	return nil
+}
+
 // Round performs one lockstep step attempt for every running lane,
-// stage-major: all lanes' stage-2 evaluations, then all stage 3, and so
-// on, finishing with each lane's accept/reject settlement. It returns
-// the number of lanes still running; lanes whose segment completed this
-// round are no longer Running and their Result is ready to Take.
+// stage-major: each stage's update kernel sweeps the whole batch over
+// the contiguous stage slab, each stage's derivative evaluations
+// collapse to a single BatchRHS call for the StartBatched lanes (scalar
+// RHS per lane otherwise), and the round finishes with each lane's
+// accept/reject settlement. It returns the number of lanes still
+// running; lanes whose segment completed this round are no longer
+// Running and their Result is ready to Take.
 func (b *BatchIntegrator) Round() int {
 	if b.active == 0 {
 		return 0
@@ -109,17 +169,8 @@ func (b *BatchIntegrator) Round() int {
 		}
 	}
 	b.stepping = st
-	for _, i := range st {
-		b.lanes[i].in.stageK2(&b.lanes[i].s)
-	}
-	for _, i := range st {
-		b.lanes[i].in.stageK3(&b.lanes[i].s)
-	}
-	for _, i := range st {
-		b.lanes[i].in.stageY1K4(&b.lanes[i].s)
-	}
-	for _, i := range st {
-		b.lanes[i].in.stageErr(&b.lanes[i].s)
+	if len(st) > 0 {
+		b.roundStages(st)
 	}
 	for _, i := range st {
 		ln := &b.lanes[i]

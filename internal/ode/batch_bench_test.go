@@ -1,0 +1,73 @@
+package ode
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchBatchRHS is a vectorised derivative evaluator for the benchmark
+// system: one call sweeps every stepping lane, the way a production
+// BatchRHS (e.g. the simulation engine's lockstep PV solver) amortises
+// per-lane dispatch.
+type benchBatchRHS struct{ k float64 }
+
+func (b benchBatchRHS) EvalLanes(ts []float64, ys, dys [][]float64, lanes []int) {
+	for j := range lanes {
+		y, dydt := ys[j], dys[j]
+		dydt[0] = y[1]
+		dydt[1] = -b.k*y[0] - 0.5*y[1]
+	}
+}
+
+// BenchmarkBatchRound measures one lockstep Round per iteration across
+// batch widths, in both evaluation modes: rhs=batch routes all lanes
+// through a single EvalLanes call per stage (the vectorised kernels'
+// full path), rhs=scalar falls back to one RHS closure call per lane
+// per stage. Zero allocs/op is the steady-state contract the pnbench
+// -compare gate enforces.
+func BenchmarkBatchRound(b *testing.B) {
+	const dim = 2
+	f := stiffish(30)
+	for _, w := range []int{1, 8, 16} {
+		for _, mode := range []string{"batch", "scalar"} {
+			b.Run(fmt.Sprintf("w=%d/rhs=%s", w, mode), func(b *testing.B) {
+				bi := NewBatchIntegrator(w, dim)
+				bi.SetBatchRHS(benchBatchRHS{k: 30})
+				ySlab := make([]float64, w*dim)
+				// A fixed step over a long span keeps every round a plain
+				// accepted step; lanes are re-armed if b.N outlasts the span.
+				opts := Options{RTol: 1e-6, ATol: 1e-9, InitialStep: 0.02, MaxStep: 0.02}
+				arm := func() {
+					for l := 0; l < w; l++ {
+						y := ySlab[l*dim : (l+1)*dim : (l+1)*dim]
+						y[0], y[1] = 1, 0
+						var err error
+						if mode == "batch" {
+							err = bi.StartBatched(l, f, 0, 1e6, y, opts)
+						} else {
+							err = bi.Start(l, f, 0, 1e6, y, opts)
+						}
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				arm()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if bi.Round() == 0 {
+						b.StopTimer()
+						for l := 0; l < w; l++ {
+							if _, err := bi.Take(l); err != nil {
+								b.Fatal(err)
+							}
+						}
+						arm()
+						b.StartTimer()
+					}
+				}
+			})
+		}
+	}
+}

@@ -238,6 +238,192 @@ func TestBatchEventsAndRestartBitIdentical(t *testing.T) {
 	}
 }
 
+// spyBatchRHS is a BatchRHS that counts calls and records the lane
+// coverage of each, delegating the actual derivative work to per-lane
+// scalar functions so results stay comparable to scalar integration.
+type spyBatchRHS struct {
+	fs         []RHS
+	calls      int
+	laneCounts []int
+}
+
+func (s *spyBatchRHS) EvalLanes(ts []float64, ys, dys [][]float64, lanes []int) {
+	s.calls++
+	s.laneCounts = append(s.laneCounts, len(lanes))
+	for j, l := range lanes {
+		s.fs[l](ts[j], ys[j], dys[j])
+	}
+}
+
+// TestBatchRHSOneCallPerStagePerRound pins the batched evaluation
+// contract: with every lane armed through StartBatched, each lockstep
+// round issues exactly one EvalLanes call per derivative stage (three:
+// k2, k3 and the FSAL k4) covering all stepping lanes — not one call
+// per lane — and the integration stays bit-identical to scalar.
+func TestBatchRHSOneCallPerStagePerRound(t *testing.T) {
+	const W, dim = 6, 2
+	f := stiffish(25)
+	opts := Options{RTol: 1e-6, ATol: 1e-9, InitialStep: 0.05}
+
+	// Scalar reference (identical problem on every lane).
+	wantY, wantRes, wantTrace := scalarTrace(t, f, 0, 2, []float64{1, -0.25}, opts)
+
+	b := NewBatchIntegrator(W, dim)
+	spy := &spyBatchRHS{fs: make([]RHS, W)}
+	b.SetBatchRHS(spy)
+	ySlab := make([]float64, W*dim)
+	gotTrace := make([][]float64, W)
+	for l := 0; l < W; l++ {
+		spy.fs[l] = f
+		y := ySlab[l*dim : (l+1)*dim : (l+1)*dim]
+		copy(y, []float64{1, -0.25})
+		o := opts
+		l := l
+		o.OnStep = func(tt float64, yy []float64) {
+			gotTrace[l] = append(gotTrace[l], tt)
+			gotTrace[l] = append(gotTrace[l], yy...)
+		}
+		if err := b.StartBatched(l, f, 0, 2, y, o); err != nil {
+			t.Fatalf("StartBatched lane %d: %v", l, err)
+		}
+	}
+	rounds := 0
+	for b.Round() > 0 {
+		rounds++
+	}
+
+	// Identical lanes march in perfect lockstep: every lane attempts a
+	// step on every round except the final span-covered discovery round,
+	// so the batch performs exactly steps+rejected stepping rounds and 3
+	// batched evaluations per stepping round, each covering all W lanes.
+	attempts := wantRes.Steps + wantRes.Rejected
+	if want := 3 * attempts; spy.calls != want {
+		t.Errorf("EvalLanes calls = %d, want 3 stages × %d attempts = %d", spy.calls, attempts, want)
+	}
+	for c, n := range spy.laneCounts {
+		if n != W {
+			t.Errorf("EvalLanes call %d covered %d lanes, want the whole batch (%d)", c, n, W)
+		}
+	}
+	for l := 0; l < W; l++ {
+		res, err := b.Take(l)
+		if err != nil {
+			t.Fatalf("lane %d: %v", l, err)
+		}
+		if res.Steps != wantRes.Steps || res.Rejected != wantRes.Rejected || res.T != wantRes.T {
+			t.Errorf("lane %d: steps/rejected/T = %d/%d/%g, scalar %d/%d/%g",
+				l, res.Steps, res.Rejected, res.T, wantRes.Steps, wantRes.Rejected, wantRes.T)
+		}
+		got := ySlab[l*dim : (l+1)*dim]
+		for i := range got {
+			if got[i] != wantY[i] {
+				t.Errorf("lane %d: y[%d] = %g, scalar %g", l, i, got[i], wantY[i])
+			}
+		}
+		if len(gotTrace[l]) != len(wantTrace) {
+			t.Fatalf("lane %d: trace length %d, scalar %d", l, len(gotTrace[l]), len(wantTrace))
+		}
+		for i := range gotTrace[l] {
+			if gotTrace[l][i] != wantTrace[i] {
+				t.Fatalf("lane %d: trace[%d] = %g, scalar %g", l, i, gotTrace[l][i], wantTrace[i])
+			}
+		}
+	}
+}
+
+// TestBatchRHSMixedLanesFallBackScalar arms only the even lanes through
+// StartBatched and the odd lanes through plain Start — a mixed batch in
+// which some lanes lack a batch path — and requires the batch evaluator
+// to see exactly the batched lanes while every lane's full accepted-step
+// trace stays bit-identical to scalar.
+func TestBatchRHSMixedLanesFallBackScalar(t *testing.T) {
+	const W, dim = 5, 2
+	type lane struct {
+		f      RHS
+		t1     float64
+		y0     []float64
+		called int
+	}
+	lanes := make([]lane, W)
+	for l := 0; l < W; l++ {
+		l := l
+		k := 2.0 + 31.0*float64(l)
+		inner := stiffish(k)
+		lanes[l] = lane{
+			t1: 1.0 + 0.4*float64(l),
+			y0: []float64{1 + 0.2*float64(l), 0.1 * float64(l)},
+		}
+		lanes[l].f = func(tt float64, y, dydt []float64) {
+			lanes[l].called++
+			inner(tt, y, dydt)
+		}
+	}
+	opts := Options{RTol: 1e-6, ATol: 1e-9, InitialStep: 0.04}
+
+	wantY := make([][]float64, W)
+	wantTrace := make([][]float64, W)
+	for l := range lanes {
+		y, _, tr := scalarTrace(t, stiffish(2.0+31.0*float64(l)), 0, lanes[l].t1, lanes[l].y0, opts)
+		wantY[l], wantTrace[l] = y, tr
+	}
+
+	b := NewBatchIntegrator(W, dim)
+	spy := &spyBatchRHS{fs: make([]RHS, W)}
+	for l := range lanes {
+		spy.fs[l] = lanes[l].f
+	}
+	b.SetBatchRHS(spy)
+	ySlab := make([]float64, W*dim)
+	gotTrace := make([][]float64, W)
+	for l := range lanes {
+		y := ySlab[l*dim : (l+1)*dim : (l+1)*dim]
+		copy(y, lanes[l].y0)
+		o := opts
+		l := l
+		o.OnStep = func(tt float64, yy []float64) {
+			gotTrace[l] = append(gotTrace[l], tt)
+			gotTrace[l] = append(gotTrace[l], yy...)
+		}
+		var err error
+		if l%2 == 0 {
+			err = b.StartBatched(l, lanes[l].f, 0, lanes[l].t1, y, o)
+		} else {
+			err = b.Start(l, lanes[l].f, 0, lanes[l].t1, y, o)
+		}
+		if err != nil {
+			t.Fatalf("arm lane %d: %v", l, err)
+		}
+	}
+	for b.Round() > 0 {
+	}
+
+	if spy.calls == 0 {
+		t.Fatal("EvalLanes was never called for the batched lanes")
+	}
+	for l := range lanes {
+		if lanes[l].called == 0 {
+			t.Errorf("lane %d RHS never called", l)
+		}
+		if _, err := b.Take(l); err != nil {
+			t.Fatalf("lane %d: %v", l, err)
+		}
+		got := ySlab[l*dim : (l+1)*dim]
+		for i := range got {
+			if got[i] != wantY[l][i] {
+				t.Errorf("lane %d: y[%d] = %g, scalar %g", l, i, got[i], wantY[l][i])
+			}
+		}
+		if len(gotTrace[l]) != len(wantTrace[l]) {
+			t.Fatalf("lane %d: trace length %d, scalar %d", l, len(gotTrace[l]), len(wantTrace[l]))
+		}
+		for i := range gotTrace[l] {
+			if gotTrace[l][i] != wantTrace[l][i] {
+				t.Fatalf("lane %d: trace[%d] = %g, scalar %g", l, i, gotTrace[l][i], wantTrace[l][i])
+			}
+		}
+	}
+}
+
 // TestBatchWidthOneMatchesScalar pins the degenerate W=1 case.
 func TestBatchWidthOneMatchesScalar(t *testing.T) {
 	y := []float64{1, 0}

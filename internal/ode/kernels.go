@@ -1,0 +1,125 @@
+package ode
+
+import "math"
+
+// This file holds the cross-lane stage kernels of the batched RK23
+// round. Each kernel sweeps one stage computation across every lane
+// attempting a step this round, walking the stage-major slab (all
+// lanes' storage for a stage is contiguous) with the bounds checks
+// hoisted out of the inner loops by full-length reslices. The per-lane
+// arithmetic is expression-for-expression the scalar stage methods
+// (stageK2/stageK3/stageY1K4/stageErr), so kernel results are
+// bit-identical to scalar integration — only the cross-lane iteration
+// order differs, and lanes share no mutable state.
+
+// axpyLanes forms the stage input ytmp = y + a·k for every stepping
+// lane, where (a, k) is (hs/2, k1) for stage 2 and (3·hs/4, k2) for
+// stage 3 — the same coefficients, computed by the same expressions, as
+// the scalar stageK2/stageK3.
+func (b *BatchIntegrator) axpyLanes(st []int, stage3 bool) {
+	for _, l := range st {
+		ln := &b.lanes[l]
+		y := ln.s.y
+		var a float64
+		var k []float64
+		if stage3 {
+			a, k = 3*ln.s.hs/4, ln.in.k2
+		} else {
+			a, k = ln.s.hs/2, ln.in.k1
+		}
+		dst, k := ln.in.ytmp[:len(y)], k[:len(y)]
+		for i, yv := range y {
+			dst[i] = yv + a*k[i]
+		}
+	}
+}
+
+// y1Lanes forms the 3rd-order solution y1 = y + hs(2/9 k1 + 1/3 k2 +
+// 4/9 k3) for every stepping lane — the update half of the scalar
+// stageY1K4; the fused FSAL evaluation k4 = f(t+hs, y1) follows as one
+// batched derivative call (evalStageLanes).
+func (b *BatchIntegrator) y1Lanes(st []int) {
+	for _, l := range st {
+		ln := &b.lanes[l]
+		y := ln.s.y
+		hs := ln.s.hs
+		n := len(y)
+		k1, k2, k3, y1 := ln.in.k1[:n], ln.in.k2[:n], ln.in.k3[:n], ln.in.y1[:n]
+		for i := range y {
+			y1[i] = y[i] + hs*(2.0/9.0*k1[i]+1.0/3.0*k2[i]+4.0/9.0*k3[i])
+		}
+	}
+}
+
+// errNormLanes fuses the embedded 2nd-order solution, the error vector
+// and the scaled RMS error norm into one pass per stepping lane,
+// storing the result in each lane's segState.en. Per element it
+// performs exactly the operations of the scalar stageErr + errNorm
+// pair, in the same index order, so the fused norm is bit-identical.
+func (b *BatchIntegrator) errNormLanes(st []int) {
+	for _, l := range st {
+		ln := &b.lanes[l]
+		s := &ln.s
+		y := s.y
+		hs := s.hs
+		atol, rtol := s.o.ATol, s.o.RTol
+		n := len(y)
+		k1, k2, k3, k4, y1 := ln.in.k1[:n], ln.in.k2[:n], ln.in.k3[:n], ln.in.k4[:n], ln.in.y1[:n]
+		var sum float64
+		for i := range y {
+			y2 := y[i] + hs*(7.0/24.0*k1[i]+1.0/4.0*k2[i]+1.0/3.0*k3[i]+1.0/8.0*k4[i])
+			e := y1[i] - y2
+			sc := atol + rtol*math.Max(math.Abs(y[i]), math.Abs(y1[i]))
+			e = e / sc
+			sum += e * e
+		}
+		s.en = math.Sqrt(sum / float64(n))
+	}
+}
+
+// evalStageLanes evaluates one RK stage's derivatives for every
+// stepping lane: lanes armed through StartBatched are gathered into a
+// single BatchRHS.EvalLanes call (one call per stage per round,
+// regardless of width); lanes armed through Start fall back to their
+// per-lane scalar RHS. stage selects the evaluation point and buffers:
+// 2 → k2 = f(t+hs/2, ytmp), 3 → k3 = f(t+3hs/4, ytmp),
+// 4 → k4 = f(t+hs, y1).
+func (b *BatchIntegrator) evalStageLanes(st []int, stage int) {
+	nb := 0
+	for _, l := range st {
+		ln := &b.lanes[l]
+		var t float64
+		var in, out []float64
+		switch stage {
+		case 2:
+			t, in, out = ln.s.t+ln.s.hs/2, ln.in.ytmp, ln.in.k2
+		case 3:
+			t, in, out = ln.s.t+3*ln.s.hs/4, ln.in.ytmp, ln.in.k3
+		default:
+			t, in, out = ln.s.t+ln.s.hs, ln.in.y1, ln.in.k4
+		}
+		if ln.batched {
+			b.bts[nb], b.bys[nb], b.bdys[nb], b.blanes[nb] = t, in, out, l
+			nb++
+		} else {
+			ln.s.f(t, in, out)
+		}
+	}
+	if nb > 0 {
+		b.batch.EvalLanes(b.bts[:nb], b.bys[:nb], b.bdys[:nb], b.blanes[:nb])
+	}
+}
+
+// roundStages advances every stepping lane through the four RK23 stage
+// computations stage-major: each kernel sweeps the whole batch before
+// the next begins, and each stage's derivative evaluations collapse to
+// one EvalLanes call for the batched lanes.
+func (b *BatchIntegrator) roundStages(st []int) {
+	b.axpyLanes(st, false)
+	b.evalStageLanes(st, 2)
+	b.axpyLanes(st, true)
+	b.evalStageLanes(st, 3)
+	b.y1Lanes(st)
+	b.evalStageLanes(st, 4)
+	b.errNormLanes(st)
+}

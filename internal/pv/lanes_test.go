@@ -1,0 +1,251 @@
+package pv
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// requireSameFloat asserts bitwise equality (treating any two NaNs as
+// equal) so bit-identity claims are tested literally.
+func requireSameFloat(t *testing.T, ctx string, got, want float64) {
+	t.Helper()
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("%s: got %g (bits %#x), want %g (bits %#x)",
+			ctx, got, math.Float64bits(got), want, math.Float64bits(want))
+	}
+}
+
+// TestSolveLanesBitIdenticalToScalar drives a lane set and a twin set
+// of sequential Solvers through the same per-lane (v, g) histories —
+// voltage ladders crossed with irradiance sweeps, cold starts and warm
+// continuations — and requires every root and every error to be
+// bit-identical, call after call (so the lockstep warm-state commits
+// match the scalar ones too).
+func TestSolveLanesBitIdenticalToScalar(t *testing.T) {
+	const W = 7
+	arr := SouthamptonArray()
+	laneSolvers := make([]*Solver, W)
+	refSolvers := make([]*Solver, W)
+	for j := 0; j < W; j++ {
+		laneSolvers[j] = NewSolver(arr)
+		refSolvers[j] = NewSolver(arr)
+	}
+	var ls LaneSolver
+	vs, gs, out := make([]float64, W), make([]float64, W), make([]float64, W)
+	errs := make([]error, W)
+
+	for step := 0; step < 400; step++ {
+		for j := 0; j < W; j++ {
+			// Per-lane voltage ladder and irradiance sweep, diverging
+			// across lanes; irradiance ramps through dawn-like lows and
+			// noon highs.
+			vs[j] = 3.5 + 0.01*float64((step*(j+1))%250)
+			gs[j] = 50 + float64((step*17+j*313)%1000)
+		}
+		ls.SolveLanes(laneSolvers, vs, gs, out, errs)
+		for j := 0; j < W; j++ {
+			want, wantErr := refSolvers[j].CurrentAt(vs[j], gs[j])
+			if (errs[j] == nil) != (wantErr == nil) {
+				t.Fatalf("step %d lane %d: err = %v, scalar %v", step, j, errs[j], wantErr)
+			}
+			requireSameFloat(t, fmt.Sprintf("step %d lane %d (v=%g g=%g)", step, j, vs[j], gs[j]), out[j], want)
+		}
+	}
+}
+
+// TestSolveLanesExactFallback forces the non-finite Newton path (a
+// +Inf voltage makes the warm extrapolation and the residual blow up)
+// and checks the lanes take the same exact bracketed fallback — same
+// value, same error, same subsequent warm behaviour — as scalar solves,
+// while healthy lanes in the same call are untouched.
+func TestSolveLanesExactFallback(t *testing.T) {
+	arr := SouthamptonArray()
+	laneSolvers := []*Solver{NewSolver(arr), NewSolver(arr)}
+	refSolvers := []*Solver{NewSolver(arr), NewSolver(arr)}
+	var ls LaneSolver
+	vs := []float64{4.8, 5.0}
+	gs := []float64{800, 900}
+	out := make([]float64, 2)
+	errs := make([]error, 2)
+
+	// Warm both lanes up first.
+	ls.SolveLanes(laneSolvers, vs, gs, out, errs)
+	for j := range refSolvers {
+		want, _ := refSolvers[j].CurrentAt(vs[j], gs[j])
+		requireSameFloat(t, fmt.Sprintf("warmup lane %d", j), out[j], want)
+	}
+
+	// Lane 0 goes hostile; lane 1 stays healthy.
+	vs[0] = math.Inf(1)
+	ls.SolveLanes(laneSolvers, vs, gs, out, errs)
+	for j := range refSolvers {
+		want, wantErr := refSolvers[j].CurrentAt(vs[j], gs[j])
+		if (errs[j] == nil) != (wantErr == nil) {
+			t.Fatalf("lane %d: err = %v, scalar %v", j, errs[j], wantErr)
+		}
+		requireSameFloat(t, fmt.Sprintf("hostile call lane %d", j), out[j], want)
+	}
+	if errs[0] == nil {
+		t.Fatal("lane 0: expected the exact fallback to fail on v=+Inf")
+	}
+
+	// Both lanes must continue exactly like their scalar twins after the
+	// fallback (the failed solve must not have perturbed warm state).
+	vs[0] = 4.9
+	ls.SolveLanes(laneSolvers, vs, gs, out, errs)
+	for j := range refSolvers {
+		want, wantErr := refSolvers[j].CurrentAt(vs[j], gs[j])
+		if (errs[j] == nil) != (wantErr == nil) {
+			t.Fatalf("post-fallback lane %d: err = %v, scalar %v", j, errs[j], wantErr)
+		}
+		requireSameFloat(t, fmt.Sprintf("post-fallback lane %d", j), out[j], want)
+	}
+}
+
+// TestSolveLanesSharedMemoBoundaries interleaves lane solves with
+// shared-memo Voc/MPP queries across the memoCap eviction boundary:
+// lane solvers share one VocMemo, the reference solvers share another,
+// and after thousands of distinct irradiances (memo misses, hits, a
+// clear() eviction and re-fill) both populations must still agree
+// bit-for-bit on Voc, MPP and the next lockstep current solves.
+func TestSolveLanesSharedMemoBoundaries(t *testing.T) {
+	const W = 3
+	arr := SouthamptonArray()
+	laneSolvers := make([]*Solver, W)
+	refSolvers := make([]*Solver, W)
+	laneMemo, refMemo := NewVocMemo(arr), NewVocMemo(arr)
+	for j := 0; j < W; j++ {
+		laneSolvers[j] = NewSolver(arr)
+		refSolvers[j] = NewSolver(arr)
+		if !laneSolvers[j].ShareVoc(laneMemo) || !refSolvers[j].ShareVoc(refMemo) {
+			t.Fatal("ShareVoc refused value-equal arrays")
+		}
+	}
+	var ls LaneSolver
+	vs, gs, out := make([]float64, W), make([]float64, W), make([]float64, W)
+	errs := make([]error, W)
+
+	solveRound := func(ctx string, g0 float64) {
+		t.Helper()
+		for j := 0; j < W; j++ {
+			vs[j] = 4.2 + 0.2*float64(j)
+			gs[j] = g0 + 10*float64(j)
+		}
+		ls.SolveLanes(laneSolvers, vs, gs, out, errs)
+		for j := 0; j < W; j++ {
+			want, _ := refSolvers[j].CurrentAt(vs[j], gs[j])
+			requireSameFloat(t, fmt.Sprintf("%s lane %d", ctx, j), out[j], want)
+		}
+	}
+
+	solveRound("pre-fill", 700)
+
+	// March the shared memo straight through its eviction boundary:
+	// memoCap distinct irradiances fill it, the next insert clears and
+	// re-fills. Queries rotate across lanes so hits and misses land on
+	// different solvers than the ones that computed them.
+	for i := 0; i <= memoCap+32; i++ {
+		g := 100 + float64(i)*0.25
+		lj, rj := i%W, i%W
+		gotV, err := laneSolvers[lj].OpenCircuitVoltage(g)
+		wantV, wantErr := refSolvers[rj].OpenCircuitVoltage(g)
+		if (err == nil) != (wantErr == nil) {
+			t.Fatalf("voc %d: err = %v, ref %v", i, err, wantErr)
+		}
+		requireSameFloat(t, fmt.Sprintf("voc %d (g=%g)", i, g), gotV, wantV)
+	}
+	if got, want := len(laneMemo.voc), len(refMemo.voc); got != want || got > memoCap {
+		t.Fatalf("shared memo size %d, ref %d (cap %d): eviction boundary diverged", got, want, memoCap)
+	}
+
+	// MPP queries ride the (now partially re-filled) shared Voc memo and
+	// each solver's warm Newton state; they must agree too.
+	for j := 0; j < W; j++ {
+		gotM, err := laneSolvers[j].MaximumPowerPoint(840 + float64(j))
+		wantM, wantErr := refSolvers[j].MaximumPowerPoint(840 + float64(j))
+		if (err == nil) != (wantErr == nil) {
+			t.Fatalf("mpp lane %d: err = %v, ref %v", j, err, wantErr)
+		}
+		requireSameFloat(t, fmt.Sprintf("mpp V lane %d", j), gotM.V, wantM.V)
+		requireSameFloat(t, fmt.Sprintf("mpp I lane %d", j), gotM.I, wantM.I)
+		requireSameFloat(t, fmt.Sprintf("mpp P lane %d", j), gotM.P, wantM.P)
+	}
+
+	solveRound("post-eviction", 860)
+}
+
+// TestSolveLanesColdRsZero covers the warm-extrapolation guard: with
+// Rs = 0 the implicit-function extrapolation is skipped and the seed is
+// the previous root alone, in both paths.
+func TestSolveLanesColdRsZero(t *testing.T) {
+	arr := SouthamptonArray()
+	arr.Rs = 0
+	lane, ref := NewSolver(arr), NewSolver(arr)
+	var ls LaneSolver
+	out, errs := make([]float64, 1), make([]error, 1)
+	for step := 0; step < 50; step++ {
+		v := 4.0 + 0.02*float64(step)
+		ls.SolveLanes([]*Solver{lane}, []float64{v}, []float64{750}, out, errs)
+		want, wantErr := ref.CurrentAt(v, 750)
+		if (errs[0] == nil) != (wantErr == nil) {
+			t.Fatalf("step %d: err = %v, scalar %v", step, errs[0], wantErr)
+		}
+		requireSameFloat(t, fmt.Sprintf("Rs=0 step %d", step), out[0], want)
+	}
+}
+
+// BenchmarkSolveLanes compares one lockstep SolveLanes call over W
+// warm solvers against the equivalent sequence of scalar CurrentAt
+// calls, on the voltage ladder the simulation hot path produces. Zero
+// allocs/op is the steady-state contract the pnbench -compare gate
+// enforces.
+func BenchmarkSolveLanes(b *testing.B) {
+	const W = 8
+	arr := SouthamptonArray()
+	mk := func() ([]*Solver, []float64, []float64) {
+		solvers := make([]*Solver, W)
+		for j := range solvers {
+			solvers[j] = NewSolver(arr)
+		}
+		return solvers, make([]float64, W), make([]float64, W)
+	}
+	b.Run(fmt.Sprintf("lanes=%d/lockstep", W), func(b *testing.B) {
+		solvers, vs, gs := mk()
+		var ls LaneSolver
+		out, errs := make([]float64, W), make([]error, W)
+		for j := 0; j < W; j++ {
+			vs[j], gs[j] = 4.0, 850
+		}
+		// Warm call: grows the LaneSolver scratch once so the timed loop
+		// measures the zero-alloc steady state.
+		ls.SolveLanes(solvers, vs, gs, out, errs)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < W; j++ {
+				vs[j] = 4.0 + float64((i+j*25)%200)*0.01
+				gs[j] = 850
+			}
+			ls.SolveLanes(solvers, vs, gs, out, errs)
+		}
+	})
+	b.Run(fmt.Sprintf("lanes=%d/scalar", W), func(b *testing.B) {
+		solvers, vs, gs := mk()
+		var acc float64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < W; j++ {
+				vs[j] = 4.0 + float64((i+j*25)%200)*0.01
+				gs[j] = 850
+				iout, err := solvers[j].CurrentAt(vs[j], gs[j])
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc += iout
+			}
+		}
+		_ = acc
+	})
+}

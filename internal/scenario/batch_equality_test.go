@@ -14,13 +14,21 @@ import (
 // batched lockstep engine must produce bit-identical results to the
 // scalar engine — every scalar outcome, controller stat, envelope and
 // captured series — across every registered scenario crossed with all
-// three storage families, at batch widths 1 and 8. Eight seeds per cell
-// make the lanes diverge (different cloud draws → different event times,
-// rejects and interrupt schedules), so lockstep interleaving, per-lane
+// three storage families, at batch widths 1 and 8 (plus 16 with twice
+// the seeds outside -short, so the widest stage slab and W=8's
+// multi-group packing are both covered). The per-cell seeds make the
+// lanes diverge (different cloud draws → different event times, rejects
+// and interrupt schedules), so lockstep interleaving, per-lane
 // divergence fallback and rejoin are all exercised. CI runs this suite
 // under -race.
 func TestBatchEngineBitIdenticalToScalar(t *testing.T) {
 	const width8 = 8
+	lanes := width8
+	widths := []int{1, width8}
+	if !testing.Short() {
+		lanes = 2 * width8
+		widths = append(widths, 2*width8)
+	}
 	storages := []struct {
 		name string
 		mk   func() sim.Storage
@@ -55,15 +63,15 @@ func TestBatchEngineBitIdenticalToScalar(t *testing.T) {
 					spec.Storage = s
 				}
 
-				seeds := make([]int64, width8)
-				specs := make([]Spec, width8)
+				seeds := make([]int64, lanes)
+				specs := make([]Spec, lanes)
 				for i := range seeds {
 					seeds[i] = int64(1000*si + 100*sti + i)
 					specs[i] = spec
 				}
 
 				// Scalar reference, one run at a time.
-				want := make([]*sim.Result, width8)
+				want := make([]*sim.Result, lanes)
 				for i, seed := range seeds {
 					res, err := spec.Run(seed)
 					if err != nil {
@@ -72,7 +80,7 @@ func TestBatchEngineBitIdenticalToScalar(t *testing.T) {
 					want[i] = res
 				}
 
-				for _, w := range []int{1, width8} {
+				for _, w := range widths {
 					cfgs, err := AssembleGroup(specs, seeds)
 					if err != nil {
 						t.Fatalf("W=%d AssembleGroup: %v", w, err)

@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"sync"
+
+	"pnps/internal/ode"
+	"pnps/internal/pv"
+)
+
+// batchRHS is RunBatch's ode.BatchRHS: one derivative-evaluation call
+// per RK stage covers every stepping lane. Photovoltaic lanes are
+// grouped through pv.LaneSolver.SolveLanes so all their implicit-diode
+// Newton solves advance in lockstep (per-lane iterate sequences — and
+// therefore warm states and results — unchanged from the scalar path),
+// with the per-lane scenario lookups (irradiance, load draw, storage
+// terminal shift) hoisted into flat gather passes instead of being
+// re-dispatched through a closure per lane per stage. Lanes without a
+// photovoltaic fast path fall back to their scalar RHS, lane by lane.
+//
+// The evaluation is arithmetic-identical to engine.rhs per lane: a
+// predictor solve at the sensed voltage, an optional corrector solve at
+// the storage's shifted terminal voltage, then the shared
+// applyDerivative tail. Only the cross-lane interleaving differs, and
+// lanes share no mutable state, so batched results stay bit-identical.
+type batchRHS struct {
+	engines []*engine
+	ls      pv.LaneSolver
+
+	// Predictor-pass gather (one slot per PV lane this call): the lane's
+	// solver, clamped node voltage, irradiance, solved source current,
+	// solve error and the index into the EvalLanes argument slices.
+	solvers []*pv.Solver
+	vs, gs  []float64
+	isrc    []float64
+	errs    []error
+	args    []int
+
+	// Corrector-pass gather, for lanes whose storage reports a shifted
+	// terminal voltage: the same shape over the lanes needing a second
+	// solve.
+	csolvers []*pv.Solver
+	cvs, cgs []float64
+	cisrc    []float64
+	cerrs    []error
+	cargs    []int
+}
+
+// newBatchRHS returns a batched evaluator with scratch for n lanes.
+// bind attaches the lane set before each batch; release detaches it.
+func newBatchRHS(n int) *batchRHS {
+	return &batchRHS{
+		solvers: make([]*pv.Solver, n),
+		vs:      make([]float64, n),
+		gs:      make([]float64, n),
+		isrc:    make([]float64, n),
+		errs:    make([]error, n),
+		args:    make([]int, n),
+
+		csolvers: make([]*pv.Solver, n),
+		cvs:      make([]float64, n),
+		cgs:      make([]float64, n),
+		cisrc:    make([]float64, n),
+		cerrs:    make([]error, n),
+		cargs:    make([]int, n),
+	}
+}
+
+// bind attaches one RunBatch lane set (engines indexed by integrator
+// lane; failed lanes are nil and never appear in EvalLanes calls).
+func (b *batchRHS) bind(engines []*engine) { b.engines = engines }
+
+// release drops every reference into the finished batch so a pooled
+// evaluator cannot keep its engines (and their solver state) alive.
+func (b *batchRHS) release() {
+	b.engines = nil
+	clear(b.solvers)
+	clear(b.csolvers)
+	clear(b.errs)
+	clear(b.cerrs)
+}
+
+// batchScratch bundles the per-pack lockstep machinery — the SoA
+// integrator and its batched evaluator, wired together once — so it can
+// be recycled across packs instead of reallocated. One simulated pack
+// costs a few hundred integrator rounds; without recycling, its setup
+// (stage slab, gather scratch, lane-solver buffers) dominates the
+// batched engine's allocation profile.
+type batchScratch struct {
+	bi *ode.BatchIntegrator
+	br *batchRHS
+}
+
+// batchPool is a free list of idle batchScratch values, reused on exact
+// (width, dim) fit. Exact fit keeps the recycled stage slab's geometry
+// — and therefore every lane's buffer views — identical to a freshly
+// built one, so pooling cannot perturb results; campaigns run
+// constant-shape packs, so in steady state every pack after the first
+// is a hit and pack setup allocates nothing. The list is capped: under
+// concurrent workers at most one entry per in-flight pack is ever out,
+// and mismatched shapes simply fall off.
+var batchPool struct {
+	sync.Mutex
+	free []*batchScratch
+}
+
+const batchPoolCap = 16
+
+// acquireBatch returns lockstep machinery for an n-lane, dim-state
+// pack, recycled when an exactly matching idle scratch exists.
+func acquireBatch(n, dim int) *batchScratch {
+	batchPool.Lock()
+	for i := len(batchPool.free) - 1; i >= 0; i-- {
+		sc := batchPool.free[i]
+		if sc.bi.Width() == n && sc.bi.Dim() == dim {
+			batchPool.free = append(batchPool.free[:i], batchPool.free[i+1:]...)
+			batchPool.Unlock()
+			return sc
+		}
+	}
+	batchPool.Unlock()
+	sc := &batchScratch{bi: ode.NewBatchIntegrator(n, dim), br: newBatchRHS(n)}
+	sc.bi.SetBatchRHS(sc.br)
+	return sc
+}
+
+// releaseBatch returns finished machinery to the free list. Callers
+// must have collected every armed lane (Take clears all per-lane
+// segment state), and release drops the evaluator's engine references,
+// so a pooled scratch retains only its own fixed-size buffers.
+func releaseBatch(sc *batchScratch) {
+	sc.br.release()
+	batchPool.Lock()
+	if len(batchPool.free) < batchPoolCap {
+		batchPool.free = append(batchPool.free, sc)
+	}
+	batchPool.Unlock()
+}
+
+// EvalLanes implements ode.BatchRHS.
+func (b *batchRHS) EvalLanes(ts []float64, ys, dys [][]float64, lanes []int) {
+	// Gather pass: clamp each PV lane's node voltage and sample its
+	// irradiance once (Irradiance is a pure function of t, so hoisting
+	// it out of the corrector re-evaluation is exact); non-PV lanes
+	// evaluate scalar immediately.
+	n := 0
+	for j, l := range lanes {
+		e := b.engines[l]
+		if e.fast == nil {
+			e.rhs(ts[j], ys[j], dys[j])
+			continue
+		}
+		v := ys[j][0]
+		if v < 0 {
+			v = 0
+		}
+		b.solvers[n] = e.fast
+		b.vs[n] = v
+		b.gs[n] = e.pvSrc.Profile.Irradiance(ts[j])
+		b.args[n] = j
+		n++
+	}
+	if n == 0 {
+		return
+	}
+
+	// Predictor: all PV lanes' diode solves at the sensed voltage, in
+	// lockstep.
+	b.ls.SolveLanes(b.solvers[:n], b.vs[:n], b.gs[:n], b.isrc[:n], b.errs[:n])
+
+	// Settle each lane's net current; lanes whose storage shifts the
+	// terminal voltage (series resistance) queue a corrector solve.
+	nc := 0
+	for k := 0; k < n; k++ {
+		j := b.args[k]
+		e := b.engines[lanes[j]]
+		isrc := b.isrc[k]
+		if b.errs[k] != nil {
+			// Out-of-range solves should not occur with validated
+			// params; treat as zero harvest rather than aborting
+			// mid-integration (same policy as netCurrent).
+			isrc = 0
+		}
+		inet := isrc - e.loadCurrent(b.vs[k])
+		y := ys[j]
+		if vt := e.storage.Terminal(y, inet); vt != y[0] {
+			if vt < 0 {
+				vt = 0
+			}
+			if vt != b.vs[k] {
+				b.csolvers[nc] = e.fast
+				b.cvs[nc] = vt
+				b.cgs[nc] = b.gs[k]
+				b.cargs[nc] = j
+				nc++
+				continue
+			}
+		}
+		e.applyDerivative(y, dys[j], inet)
+	}
+	if nc == 0 {
+		return
+	}
+
+	// Corrector: re-solve harvest and load at the shifted terminal
+	// voltage for the lanes that need it, again in lockstep.
+	b.ls.SolveLanes(b.csolvers[:nc], b.cvs[:nc], b.cgs[:nc], b.cisrc[:nc], b.cerrs[:nc])
+	for k := 0; k < nc; k++ {
+		j := b.cargs[k]
+		e := b.engines[lanes[j]]
+		isrc := b.cisrc[k]
+		if b.cerrs[k] != nil {
+			isrc = 0
+		}
+		inet := isrc - e.loadCurrent(b.cvs[k])
+		e.applyDerivative(ys[j], dys[j], inet)
+	}
+}

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"pnps/internal/ode"
 	"pnps/internal/pv"
 )
 
@@ -175,7 +174,17 @@ func RunBatch(cfgs []Config) ([]*Result, []error) {
 		e.y = y
 	}
 
-	bi := ode.NewBatchIntegrator(n, dim)
+	// Every lane's in-round stage evaluations flow through one batched
+	// derivative call per stage: PV lanes advance their diode Newton
+	// solves in lockstep via pv.LaneSolver, non-PV lanes fall back to
+	// their scalar RHS inside the same call. The scalar RHS still seeds
+	// each segment's FSAL stage — both paths advance the same per-lane
+	// solver state identically, so mixing them preserves bit-identity.
+	// The integrator/evaluator pair is recycled across packs of the same
+	// shape, so steady-state pack setup allocates nothing for it.
+	sc := acquireBatch(n, dim)
+	bi := sc.bi
+	sc.br.bind(engines)
 	done := make([]bool, n)
 
 	// startNext drives lane i's discrete-event machine until its next
@@ -195,7 +204,7 @@ func RunBatch(cfgs []Config) ([]*Result, []error) {
 				return
 			}
 		}
-		if err := bi.Start(i, e.rhsFn, e.pendT0, e.pendT1, e.stateBuf(), e.pendOptions()); err != nil {
+		if err := bi.StartBatched(i, e.rhsFn, e.pendT0, e.pendT1, e.stateBuf(), e.pendOptions()); err != nil {
 			errs[i] = e.wrapSegErr(e.pendKind, e.pendT0, err)
 			done[i] = true
 		}
@@ -231,5 +240,6 @@ func RunBatch(cfgs []Config) ([]*Result, []error) {
 			startNext(i)
 		}
 	}
+	releaseBatch(sc)
 	return results, errs
 }

@@ -528,14 +528,7 @@ func (e *engine) rhs(t float64, y, dydt []float64) {
 			inet = e.netCurrent(t, vt)
 		}
 	}
-	e.storage.Derivative(y, inet, dydt)
-	// No state voltage can discharge below zero (the array blocks
-	// reverse current physically; this guards numerical undershoot).
-	for i := range dydt {
-		if y[i] <= 0 && dydt[i] < 0 {
-			dydt[i] = 0
-		}
-	}
+	e.applyDerivative(y, dydt, inet)
 }
 
 // netCurrent returns the net current into the storage branch (harvest
@@ -553,6 +546,14 @@ func (e *engine) netCurrent(t, v float64) float64 {
 		// treat as zero harvest rather than aborting mid-integration.
 		isrc = 0
 	}
+	return isrc - e.loadCurrent(v)
+}
+
+// loadCurrent returns the board + monitor draw with the node at voltage
+// v (zero when browned out) — the load half of netCurrent, shared by
+// the scalar RHS and the batched cross-lane evaluator so both compute
+// the identical value.
+func (e *engine) loadCurrent(v float64) float64 {
 	iload := 0.0
 	if e.alive {
 		iload = e.platform.CurrentDraw(v)
@@ -560,7 +561,21 @@ func (e *engine) netCurrent(t, v float64) float64 {
 			iload += e.hw.PowerWatts() / v
 		}
 	}
-	return isrc - iload
+	return iload
+}
+
+// applyDerivative finishes one RHS evaluation: the storage model maps
+// the net node current to state derivatives, clamped so no state
+// voltage can discharge below zero (the array blocks reverse current
+// physically; this guards numerical undershoot). Shared verbatim by the
+// scalar RHS and the batched cross-lane evaluator.
+func (e *engine) applyDerivative(y, dydt []float64, inet float64) {
+	e.storage.Derivative(y, inet, dydt)
+	for i := range dydt {
+		if y[i] <= 0 && dydt[i] < 0 {
+			dydt[i] = 0
+		}
+	}
 }
 
 // record publishes the sample at (t, vc) through the observer pipeline:

@@ -59,8 +59,9 @@ func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
 // lockstep structure-of-arrays engine must reproduce the scalar
 // campaign bit for bit — summary, groups, merged histogram and every
 // per-run result — across pack boundaries (9 runs at width 4), at the
-// default width, and at any worker count. The Vary hook mixes storage
-// families, so packs hold heterogeneous lanes.
+// default width, at a width wider than the run count (16), and at any
+// worker count. The Vary hook mixes storage families, so packs hold
+// heterogeneous lanes.
 func TestCampaignBatchedEngineBitIdentical(t *testing.T) {
 	base := scenario.MustLookup("stress-clouds")
 	base.Duration = 15
@@ -82,7 +83,7 @@ func TestCampaignBatchedEngineBitIdentical(t *testing.T) {
 		return out
 	}
 	ref := mk("scalar", 0, 1)
-	for _, c := range []struct{ width, workers int }{{4, 1}, {0, 2}} {
+	for _, c := range []struct{ width, workers int }{{4, 1}, {0, 2}, {16, 1}} {
 		got := mk("batched", c.width, c.workers)
 		label := fmt.Sprintf("batched w=%d workers=%d", c.width, c.workers)
 		testutil.RequireEqual(t, label+" summary", got.Summary, ref.Summary)
