@@ -20,16 +20,29 @@
 // marginals. A chunk whose lease expires (dead or straggling worker)
 // is re-leased with backoff; a chunk failing -max-attempts leases
 // fails the whole study rather than silently dropping tasks.
+//
+// With -journal, every folded chunk is appended to a durable
+// write-ahead journal before the worker's submission is acknowledged.
+// If the coordinator dies — power cut, OOM kill, kill -9 — restart it
+// with the same flags and the same -journal path: it replays the
+// durable chunks through full checkpoint validation, refuses the file
+// if it belongs to a different study, and resumes by leasing only the
+// chunks still missing. On SIGINT/SIGTERM it instead drains
+// gracefully: stops granting leases, finishes in-flight submissions,
+// flushes the journal and prints how to resume.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"pnps/internal/coord"
@@ -54,12 +67,19 @@ func main() {
 		leaseTTL = flag.Duration("lease-ttl", 2*time.Minute, "lease time-to-live before a chunk is re-leased")
 		attempts = flag.Int("max-attempts", 5, "lease attempts per chunk before the study fails")
 		backoff  = flag.Duration("backoff", time.Second, "re-lease backoff per prior attempt")
+		journal  = flag.String("journal", "", "write-ahead journal path: folded chunks survive a coordinator crash and replay on restart")
+		fsyncStr = flag.String("fsync", "always", "journal durability: always (fsync each record) or off (leave flushing to the OS)")
 		verbose  = flag.Bool("v", false, "log lease lifecycle events")
 		cellsCSV = flag.String("cells-csv", "", "write per-cell aggregates as CSV to this file")
 		runsCSV  = flag.String("runs-csv", "", "write per-run outcomes as CSV to this file")
 		jsonOut  = flag.String("json", "", "write the full aggregate as JSON to this file")
 	)
 	flag.Parse()
+
+	fsync, err := coord.ParseSyncPolicy(*fsyncStr)
+	if err != nil {
+		fatal(err)
+	}
 
 	recipe := studycli.Config{
 		Scenario: *scn, Duration: *duration,
@@ -80,6 +100,7 @@ func main() {
 		Study: st, Recipe: rawRecipe,
 		ChunkSize: *chunk, LeaseTTL: *leaseTTL,
 		MaxAttempts: *attempts, Backoff: *backoff,
+		JournalPath: *journal, JournalSync: fsync,
 		OnChunk: printChunkStatus,
 	}
 	if *verbose {
@@ -91,6 +112,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if replayed := srv.Status().DoneChunks; *journal != "" && replayed > 0 {
+		fmt.Fprintf(os.Stderr, "pncoord: journal %s: resuming with %d chunks already durable\n", *journal, replayed)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -101,17 +125,55 @@ func main() {
 		info.Name, info.TotalTasks, info.NumChunks, info.ChunkSize, ln.Addr())
 	fmt.Fprintf(os.Stderr, "pncoord: join with: pnstudy -worker http://<this-host>%s\n", *addr)
 
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	// The server is hardened against slow or hostile clients: a peer
+	// that dribbles its headers, never reads its response or opens a
+	// connection and goes silent gets cut, not a goroutine forever.
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      time.Minute,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
 	go func() {
-		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fatal(err)
 		}
 	}()
 
-	<-srv.Done()
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	// SIGINT/SIGTERM means drain, not die: stop granting leases (workers
+	// park and retry), let in-flight submissions land and journal, then
+	// close the listener gracefully.
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	interrupted := false
+	select {
+	case <-srv.Done():
+	case <-sigCtx.Done():
+		interrupted = true
+		stop() // a second signal kills immediately
+		fmt.Fprintln(os.Stderr, "pncoord: interrupt — draining (no new leases; in-flight submissions still land)")
+		srv.Drain()
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	_ = httpSrv.Shutdown(shutdownCtx)
+	if err := srv.Close(); err != nil {
+		fatal(fmt.Errorf("closing journal: %w", err))
+	}
+
+	if interrupted {
+		st := srv.Status()
+		fmt.Fprintf(os.Stderr, "pncoord: stopped with %d/%d chunks folded\n", st.DoneChunks, st.TotalChunks)
+		if *journal != "" {
+			fmt.Fprintf(os.Stderr, "pncoord: folded chunks are durable — resume with the same flags and -journal %s\n", *journal)
+		} else {
+			fmt.Fprintln(os.Stderr, "pncoord: no -journal was set; a restart re-runs the study from scratch")
+		}
+		os.Exit(1)
+	}
 
 	out, err := srv.Outcome()
 	if err != nil {

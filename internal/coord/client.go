@@ -5,9 +5,12 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
+	"sync"
 	"time"
 
 	"pnps/internal/study"
@@ -38,9 +41,24 @@ type Worker struct {
 	// submissions — bounded-budget workers, and the lever integration
 	// tests use to make a worker disappear mid-study.
 	MaxChunks int
+	// RetryBase is the first transport-retry delay (default 250ms); each
+	// further attempt doubles it up to RetryCap (default 10s), and the
+	// actual wait is jittered uniformly over [d/2, d) so a worker fleet
+	// knocked over by one coordinator outage does not stampede back in
+	// lockstep.
+	RetryBase time.Duration
+	// RetryCap bounds a single retry delay (default 10s).
+	RetryCap time.Duration
+	// RetryAttempts bounds tries per request (default 5): one initial
+	// attempt plus RetryAttempts-1 retries of network or 5xx failures.
+	RetryAttempts int
+	// RetrySeed seeds the jitter stream (0 derives one from the worker
+	// name) — deterministic so fault-injection schedules replay exactly.
+	RetrySeed int64
 
-	// retryBackoff paces transport-level retries (default 500ms).
-	retryBackoff time.Duration
+	rngOnce sync.Once
+	rng     *rand.Rand
+	rngMu   sync.Mutex
 }
 
 func (w *Worker) logf(format string, args ...any) {
@@ -49,11 +67,16 @@ func (w *Worker) logf(format string, args ...any) {
 	}
 }
 
+// defaultClient bounds every exchange: a coordinator that accepts the
+// connection and then hangs must not wedge the worker forever — the
+// timeout surfaces as a retryable transport error instead.
+var defaultClient = &http.Client{Timeout: 2 * time.Minute}
+
 func (w *Worker) client() *http.Client {
 	if w.HTTP != nil {
 		return w.HTTP
 	}
-	return http.DefaultClient
+	return defaultClient
 }
 
 func (w *Worker) name() string {
@@ -166,35 +189,78 @@ func (w *Worker) submitChunk(ctx context.Context, lease Lease, cp *study.Checkpo
 	case code != http.StatusOK || !res.Accepted:
 		return false, fmt.Errorf("coord: chunk %d rejected (HTTP %d): %s", lease.Chunk, code, res.Error)
 	}
-	w.logf("worker %s: chunk %d accepted", w.name(), lease.Chunk)
+	if res.Duplicate {
+		w.logf("worker %s: chunk %d was already accepted (lost acknowledgement replayed)", w.name(), lease.Chunk)
+	} else {
+		w.logf("worker %s: chunk %d accepted", w.name(), lease.Chunk)
+	}
 	return true, nil
 }
 
-// doJSON performs one JSON request with transport-level retries —
-// transient network failures must not kill a worker mid-study. HTTP
-// error statuses are returned to the caller, not retried: the
-// coordinator's answers are deterministic.
+// retryWait returns the delay before retry n (0-based): capped
+// exponential backoff d = min(RetryCap, RetryBase·2ⁿ), jittered
+// uniformly over [d/2, d) from the worker's seeded stream.
+func (w *Worker) retryWait(n int) time.Duration {
+	base, limit := w.RetryBase, w.RetryCap
+	if base <= 0 {
+		base = 250 * time.Millisecond
+	}
+	if limit <= 0 {
+		limit = 10 * time.Second
+	}
+	d := limit
+	if n < 30 { // beyond 2³⁰·base the shift could overflow; it is past any sane cap anyway
+		if scaled := base << n; scaled > 0 && scaled < limit {
+			d = scaled
+		}
+	}
+	w.rngOnce.Do(func() {
+		seed := w.RetrySeed
+		if seed == 0 {
+			h := fnv.New64a()
+			h.Write([]byte(w.name()))
+			seed = int64(h.Sum64())
+		}
+		w.rng = rand.New(rand.NewSource(seed))
+	})
+	w.rngMu.Lock()
+	defer w.rngMu.Unlock()
+	return d/2 + time.Duration(w.rng.Int63n(int64(d/2)))
+}
+
+// doJSON performs one JSON request with capped, jittered exponential
+// backoff on retryable failures: transient network errors, 5xx
+// responses (the coordinator down or restarting behind the same
+// address) and garbled 2xx bodies (a truncated response is a transport
+// fault, not an answer). Anything else is terminal and returned to the
+// caller — the coordinator's answers are deterministic, so a 4xx will
+// not improve on retry (409 lease races are benign, 422 means the data
+// was refused). Every wait honors ctx cancellation.
 func (w *Worker) doJSON(ctx context.Context, method, path string, in, out any) (int, error) {
-	backoff := w.retryBackoff
-	if backoff <= 0 {
-		backoff = 500 * time.Millisecond
+	attempts := w.RetryAttempts
+	if attempts <= 0 {
+		attempts = 5
+	}
+	var reqBody []byte
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return 0, err
+		}
+		reqBody = b
 	}
 	var lastErr error
-	for attempt := 0; attempt < 5; attempt++ {
+	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			select {
 			case <-ctx.Done():
 				return 0, ctx.Err()
-			case <-time.After(time.Duration(attempt) * backoff):
+			case <-time.After(w.retryWait(attempt - 1)):
 			}
 		}
 		var body io.Reader
-		if in != nil {
-			b, err := json.Marshal(in)
-			if err != nil {
-				return 0, err
-			}
-			body = bytes.NewReader(b)
+		if reqBody != nil {
+			body = bytes.NewReader(reqBody)
 		}
 		req, err := http.NewRequestWithContext(ctx, method, w.URL+path, body)
 		if err != nil {
@@ -203,23 +269,38 @@ func (w *Worker) doJSON(ctx context.Context, method, path string, in, out any) (
 		req.Header.Set("Content-Type", "application/json")
 		resp, err := w.client().Do(req)
 		if err != nil {
+			if ctx.Err() != nil {
+				return 0, ctx.Err()
+			}
 			lastErr = err
-			w.logf("worker %s: %s %s failed (attempt %d): %v", w.name(), method, path, attempt+1, err)
+			w.logf("worker %s: %s %s failed (attempt %d/%d): %v", w.name(), method, path, attempt+1, attempts, err)
 			continue
 		}
 		data, err := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if err != nil {
-			lastErr = err
+			lastErr = fmt.Errorf("reading response: %w", err)
+			w.logf("worker %s: %s %s response lost (attempt %d/%d): %v", w.name(), method, path, attempt+1, attempts, err)
+			continue
+		}
+		if resp.StatusCode >= http.StatusInternalServerError {
+			lastErr = fmt.Errorf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+			w.logf("worker %s: %s %s → %v (attempt %d/%d) — retrying", w.name(), method, path, lastErr, attempt+1, attempts)
 			continue
 		}
 		if out != nil && len(data) > 0 {
 			if err := json.Unmarshal(data, out); err != nil {
-				// Non-JSON error bodies (http.Error) surface as-is.
-				return resp.StatusCode, fmt.Errorf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+				if resp.StatusCode >= http.StatusBadRequest {
+					// Non-JSON 4xx bodies (http.Error) surface as-is — and
+					// like every 4xx they are terminal.
+					return resp.StatusCode, fmt.Errorf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+				}
+				lastErr = fmt.Errorf("HTTP %d with undecodable body: %w", resp.StatusCode, err)
+				w.logf("worker %s: %s %s truncated/garbled response (attempt %d/%d) — retrying", w.name(), method, path, attempt+1, attempts)
+				continue
 			}
 		}
 		return resp.StatusCode, nil
 	}
-	return 0, fmt.Errorf("after 5 attempts: %w", lastErr)
+	return 0, fmt.Errorf("after %d attempts: %w", attempts, lastErr)
 }

@@ -91,10 +91,14 @@ type Submission struct {
 	Checkpoint json.RawMessage `json:"checkpoint"`
 }
 
-// SubmitResult acknowledges a submission.
+// SubmitResult acknowledges a submission. Duplicate marks a replayed
+// submission of an already-folded chunk by the lease that completed it:
+// accepted idempotently (the first copy did the folding), so a worker
+// whose 200 was lost in transit can safely retry.
 type SubmitResult struct {
-	Accepted bool   `json:"accepted"`
-	Error    string `json:"error,omitempty"`
+	Accepted  bool   `json:"accepted"`
+	Duplicate bool   `json:"duplicate,omitempty"`
+	Error     string `json:"error,omitempty"`
 }
 
 // Status is the live view of a coordinated study.
@@ -130,6 +134,19 @@ type Config struct {
 	// Recipe is the serialisable study recipe served to workers
 	// (typically a studycli.Config); the coordinator never parses it.
 	Recipe json.RawMessage
+	// JournalPath, when non-empty, makes accepted chunks durable: every
+	// accepted submission is appended to a write-ahead journal at this
+	// path before the worker is acknowledged, and an existing journal is
+	// replayed on startup (through the same validating Folder path live
+	// submissions take) so a restarted coordinator resumes leasing only
+	// the still-missing chunks. See journal.go for the format and the
+	// torn-tail/corruption taxonomy.
+	JournalPath string
+	// JournalSync selects the journal fsync policy (default SyncAlways).
+	JournalSync SyncPolicy
+	// MaxBodyBytes caps POST /v1/chunks request bodies (default 64 MiB);
+	// oversized submissions are refused before they buffer in memory.
+	MaxBodyBytes int64
 	// Logf, when non-nil, receives lease-lifecycle diagnostics.
 	Logf func(format string, args ...any)
 	// OnChunk, when non-nil, is called after every accepted chunk with
@@ -152,6 +169,9 @@ const (
 // chunkState is one chunk's position in the lease state machine:
 // pending → leased → done, with expiry kicking leased back to pending
 // (attempt count retained, re-lease gated by notBefore backoff).
+// doneLease remembers which lease completed the chunk, so a worker
+// replaying a submission whose acknowledgement was lost is answered
+// idempotently instead of conflicting with itself.
 type chunkState struct {
 	phase     chunkPhase
 	attempts  int
@@ -159,6 +179,7 @@ type chunkState struct {
 	worker    string
 	expires   time.Time
 	notBefore time.Time
+	doneLease string
 }
 
 // Server coordinates one study across any number of workers. Create
@@ -175,9 +196,13 @@ type Server struct {
 	failed     error
 	outcome    *study.StudyOutcome
 	done       chan struct{}
+	journal    *Journal
+	draining   bool
 }
 
-// NewServer validates the study and prepares the chunk ledger.
+// NewServer validates the study, prepares the chunk ledger and — when
+// Config.JournalPath is set — opens the write-ahead journal, replaying
+// any chunks a previous incarnation already made durable.
 func NewServer(cfg Config) (*Server, error) {
 	if cfg.ChunkSize <= 0 {
 		cfg.ChunkSize = 64
@@ -190,6 +215,9 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	if cfg.Backoff <= 0 {
 		cfg.Backoff = time.Second
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 64 << 20
 	}
 	if cfg.now == nil {
 		cfg.now = time.Now
@@ -212,7 +240,63 @@ func NewServer(cfg Config) (*Server, error) {
 			Recipe:      cfg.Recipe,
 		},
 	}
+	if cfg.JournalPath != "" {
+		if err := s.openJournal(); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
+}
+
+// openJournal opens (or creates) the configured journal and replays an
+// existing file's records through the validating fold path, leaving the
+// server resumed at exactly the durable frontier.
+func (s *Server) openJournal() error {
+	j, replay, err := OpenJournal(s.cfg.JournalPath, s.info.Fingerprint,
+		s.info.TotalTasks, s.info.ChunkSize, s.info.NumChunks, s.cfg.JournalSync)
+	if err != nil {
+		return err
+	}
+	if replay.TornBytes > 0 {
+		s.logf("coord: journal %s: truncated %d-byte torn tail (a crash interrupted the last append; its chunk will re-lease)",
+			s.cfg.JournalPath, replay.TornBytes)
+	}
+	for i, rec := range replay.Records {
+		if rec.Chunk < 0 || rec.Chunk >= len(s.chunks) {
+			j.Close()
+			return fmt.Errorf("coord: journal record %d: chunk %d outside [0,%d)", i, rec.Chunk, len(s.chunks))
+		}
+		if s.chunks[rec.Chunk].phase == chunkDone {
+			j.Close()
+			return fmt.Errorf("coord: journal record %d: chunk %d journalled twice", i, rec.Chunk)
+		}
+		cp, err := study.ReadCheckpoint(bytes.NewReader(rec.Checkpoint))
+		if err != nil {
+			j.Close()
+			return fmt.Errorf("coord: journal record %d (chunk %d): %w", i, rec.Chunk, err)
+		}
+		if err := s.folder.Fold(rec.Chunk, cp); err != nil {
+			j.Close()
+			return fmt.Errorf("coord: journal record %d (chunk %d): %w", i, rec.Chunk, err)
+		}
+		s.chunks[rec.Chunk].phase = chunkDone
+		s.chunks[rec.Chunk].doneLease = rec.LeaseID
+		s.doneChunks++
+	}
+	s.journal = j
+	if len(replay.Records) > 0 {
+		s.logf("coord: journal %s: replayed %d durable chunks (%d tasks), %d chunks still missing",
+			s.cfg.JournalPath, s.doneChunks, s.folder.FoldedTasks(), len(s.chunks)-s.doneChunks)
+	}
+	if s.doneChunks == len(s.chunks) {
+		out, err := s.folder.Outcome()
+		if err != nil {
+			return fmt.Errorf("coord: outcome from fully-journalled study: %w", err)
+		}
+		s.outcome = out
+		close(s.done)
+	}
+	return nil
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -223,6 +307,28 @@ func (s *Server) logf(format string, args ...any) {
 
 // Done is closed when every chunk has folded or the study failed.
 func (s *Server) Done() <-chan struct{} { return s.done }
+
+// Drain puts the server into graceful-shutdown mode: no new leases are
+// granted (workers are told to retry, and will find the restarted
+// coordinator there when they do), while in-flight submissions are
+// still accepted and journalled — work already paid for is not thrown
+// away on the way down.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.logf("coord: draining — leases suspended, in-flight submissions still accepted")
+}
+
+// Close flushes and closes the journal (if any). Call after the HTTP
+// server has shut down, so no submission can race the close.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	j := s.journal
+	s.journal = nil
+	s.mu.Unlock()
+	return j.Close()
+}
 
 // Outcome returns the completed study aggregate. It errors until Done
 // is closed, and reports the failure if the study failed.
@@ -290,6 +396,11 @@ func (s *Server) lease(worker string) Lease {
 	}
 	if s.outcome != nil {
 		return Lease{Done: true}
+	}
+	if s.draining {
+		// Shutting down: park the workers. They retry with backoff and
+		// find the restarted coordinator (same journal) when it returns.
+		return Lease{RetryAfterMS: time.Second.Milliseconds()}
 	}
 
 	// Reclaim expired leases: the holder is presumed dead or straggling;
@@ -376,6 +487,14 @@ func (s *Server) submit(sub Submission) (int, SubmitResult) {
 
 	s.mu.Lock()
 	c := &s.chunks[sub.Chunk]
+	if c.phase == chunkDone && sub.LeaseID != "" && sub.LeaseID == c.doneLease {
+		// The lease that completed this chunk is submitting again: its
+		// 200 was lost in transit and the worker retried. The first copy
+		// already folded and journalled; acknowledge idempotently.
+		s.mu.Unlock()
+		s.logf("coord: chunk %d duplicate submission from %s (lease %s) — acknowledged idempotently", sub.Chunk, sub.Worker, sub.LeaseID)
+		return http.StatusOK, SubmitResult{Accepted: true, Duplicate: true}
+	}
 	switch {
 	case s.failed != nil:
 		err = fmt.Errorf("study failed: %v", s.failed)
@@ -401,8 +520,19 @@ func (s *Server) submit(sub Submission) (int, SubmitResult) {
 		s.mu.Unlock()
 		return reject(http.StatusUnprocessableEntity, err)
 	}
+	// Journal before acknowledging: once the worker sees 200 the chunk
+	// must survive a coordinator crash. An append failure (disk gone)
+	// fails the study — continuing would silently forfeit durability.
+	if err := s.journal.Append(JournalRecord{
+		Chunk: sub.Chunk, LeaseID: sub.LeaseID, Worker: sub.Worker, Checkpoint: sub.Checkpoint,
+	}); err != nil {
+		s.failLocked(err)
+		s.mu.Unlock()
+		return reject(http.StatusInternalServerError, err)
+	}
 	c.phase = chunkDone
 	c.leaseID = ""
+	c.doneLease = sub.LeaseID
 	s.doneChunks++
 	s.logf("coord: chunk %d folded (%d/%d) from %s", sub.Chunk, s.doneChunks, len(s.chunks), sub.Worker)
 
@@ -437,7 +567,8 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("POST /v1/lease", func(w http.ResponseWriter, r *http.Request) {
 		var req LeaseRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		// Lease requests are a worker name; anything beyond 1 MiB is abuse.
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
 			http.Error(w, "bad lease request: "+err.Error(), http.StatusBadRequest)
 			return
 		}
@@ -445,8 +576,13 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("POST /v1/chunks", func(w http.ResponseWriter, r *http.Request) {
 		var sub Submission
-		if err := json.NewDecoder(r.Body).Decode(&sub); err != nil {
-			http.Error(w, "bad submission: "+err.Error(), http.StatusBadRequest)
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(&sub); err != nil {
+			code := http.StatusBadRequest
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				code = http.StatusRequestEntityTooLarge
+			}
+			http.Error(w, "bad submission: "+err.Error(), code)
 			return
 		}
 		code, res := s.submit(sub)

@@ -272,12 +272,121 @@ func TestCoordinatorRejectsHostileSubmissions(t *testing.T) {
 	if code, res := s.submit(submission(t, "tester", lease.Chunk, lease.LeaseID, cp)); code != http.StatusOK || !res.Accepted {
 		t.Fatalf("genuine submission after refusals: HTTP %d %q", code, res.Error)
 	}
-	if code, res := s.submit(submission(t, "tester", lease.Chunk, lease.LeaseID, cp)); code != http.StatusConflict || !strings.Contains(res.Error, "already folded") {
-		t.Fatalf("duplicate submission: HTTP %d %q, want 409 already-folded", code, res.Error)
+	// A replay on the completing lease (lost 200) is acknowledged
+	// idempotently; a different lease id for a folded chunk still 409s.
+	if code, res := s.submit(submission(t, "tester", lease.Chunk, lease.LeaseID, cp)); code != http.StatusOK || !res.Accepted || !res.Duplicate {
+		t.Fatalf("replayed submission: HTTP %d %+v, want idempotent 200 duplicate", code, res)
+	}
+	if code, res := s.submit(submission(t, "tester", lease.Chunk, "lease-9-chunk-0-attempt-9", cp)); code != http.StatusConflict || !strings.Contains(res.Error, "already folded") {
+		t.Fatalf("foreign-lease duplicate submission: HTTP %d %q, want 409 already-folded", code, res.Error)
 	}
 	if got := s.Status(); got.FoldedTasks != 2 || got.DoneChunks != 1 {
 		t.Fatalf("status after one chunk: %+v", got)
 	}
+}
+
+// TestDuplicateAndStaleSubmissions pins the two lost-response shapes a
+// hostile network produces — a worker replaying a submission whose 200
+// vanished, and a presumed-dead worker's submission landing after its
+// chunk was re-leased and completed by someone else — and asserts both
+// leave the folder state and the final outcome exactly unchanged.
+func TestDuplicateAndStaleSubmissions(t *testing.T) {
+	refStudy, err := testRecipe().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := refStudy.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	now := time.Unix(1700000000, 0)
+	s := testServer(t, Config{
+		ChunkSize: 2, LeaseTTL: time.Minute, Backoff: time.Millisecond,
+		Logf: t.Logf, now: func() time.Time { return now },
+	})
+
+	// Lost 200: the same lease submits its chunk three times. One fold,
+	// three acknowledgements.
+	lease, cp := leaseAndRun(t, s, "flaky-net")
+	for i := 0; i < 3; i++ {
+		code, res := s.submit(submission(t, "flaky-net", lease.Chunk, lease.LeaseID, cp))
+		if code != http.StatusOK || !res.Accepted {
+			t.Fatalf("submit replay %d: HTTP %d %q", i, code, res.Error)
+		}
+		if wantDup := i > 0; res.Duplicate != wantDup {
+			t.Fatalf("submit replay %d: duplicate=%v, want %v", i, res.Duplicate, wantDup)
+		}
+		if st := s.Status(); st.DoneChunks != 1 || st.FoldedTasks != 2 {
+			t.Fatalf("replay %d disturbed the fold: %+v", i, st)
+		}
+	}
+
+	// Two workers lease the next two chunks and go quiet; both leases
+	// expire together. "slow" (chunk 1) will see its chunk re-leased but
+	// not yet re-folded when its submission lands; "presumed-dead"
+	// (chunk 2) will see its chunk re-leased *and* re-folded.
+	race, raceCP := leaseAndRun(t, s, "slow")
+	stale, staleCP := leaseAndRun(t, s, "presumed-dead")
+	now = now.Add(2 * time.Minute) // both leases expire
+
+	// The first post-expiry lease call reclaims both chunks into their
+	// backoff window and grants the untouched chunk 3 instead.
+	side := s.lease("w3")
+	if !side.Granted || side.Chunk == race.Chunk || side.Chunk == stale.Chunk {
+		t.Fatalf("lease during reclaim backoff: %+v", side)
+	}
+	sideCP, err := s.cfg.Study.RunChunk(context.Background(), side.Range)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, res := s.submit(submission(t, "w3", side.Chunk, side.LeaseID, sideCP)); code != http.StatusOK {
+		t.Fatalf("side-chunk submit: HTTP %d %q", code, res.Error)
+	}
+
+	now = now.Add(2 * time.Second) // past the attempt-scaled backoff
+
+	// Chunk 1 re-leases to w3; the old worker's submission crawls in
+	// before w3 finishes: refused as superseded, not folded twice.
+	release := s.lease("w3")
+	if !release.Granted || release.Chunk != race.Chunk || release.LeaseID == race.LeaseID {
+		t.Fatalf("re-lease of the raced chunk: %+v (stale %+v)", release, race)
+	}
+	if code, res := s.submit(submission(t, "slow", race.Chunk, race.LeaseID, raceCP)); code != http.StatusConflict || !strings.Contains(res.Error, "superseded") {
+		t.Fatalf("stale submission racing re-lease: HTTP %d %q, want 409 superseded", code, res.Error)
+	}
+	recp, err := s.cfg.Study.RunChunk(context.Background(), release.Range)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, res := s.submit(submission(t, "w3", release.Chunk, release.LeaseID, recp)); code != http.StatusOK || !res.Accepted {
+		t.Fatalf("winning submission after stale race: HTTP %d %q", code, res.Error)
+	}
+
+	// Chunk 2 re-leases to w2 and is re-folded; only then does the dead
+	// worker's submission arrive: refused as already folded.
+	release2 := s.lease("w2")
+	if !release2.Granted || release2.Chunk != stale.Chunk || release2.LeaseID == stale.LeaseID {
+		t.Fatalf("re-lease of the dead worker's chunk: %+v (stale %+v)", release2, stale)
+	}
+	recp2, err := s.cfg.Study.RunChunk(context.Background(), release2.Range)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, res := s.submit(submission(t, "w2", release2.Chunk, release2.LeaseID, recp2)); code != http.StatusOK || !res.Accepted {
+		t.Fatalf("re-leased chunk submission: HTTP %d %q", code, res.Error)
+	}
+	if code, res := s.submit(submission(t, "presumed-dead", stale.Chunk, stale.LeaseID, staleCP)); code != http.StatusConflict || !strings.Contains(res.Error, "already folded") {
+		t.Fatalf("stale submission after re-lease + fold: HTTP %d %q, want 409", code, res.Error)
+	}
+	if st := s.Status(); st.DoneChunks != 4 || st.FoldedTasks != 8 {
+		t.Fatalf("stale submissions disturbed the fold: %+v", st)
+	}
+	got, err := s.Outcome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameOutcome(t, "duplicate/stale-battered run", ref, got)
 }
 
 // TestLeaseStateMachine drives expiry, backoff and attempt exhaustion

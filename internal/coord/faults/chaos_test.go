@@ -1,0 +1,370 @@
+package faults_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pnps/internal/coord"
+	"pnps/internal/coord/faults"
+	"pnps/internal/study"
+	"pnps/internal/studycli"
+)
+
+// The end-to-end chaos suite: full studies executed through the
+// coordinator under adversarial, deterministic fault schedules — lost
+// submit acknowledgements, duplicated submissions, dropped and
+// truncated exchanges, a worker SIGKILL, a coordinator SIGKILL restored
+// from its journal, and a torn journal tail — each asserting the final
+// JSON aggregate is byte-identical to an unsharded single-process
+// Study.Run. Crash-safety is only worth having if it cannot cost a bit.
+
+// chaosRecipe is the study under torture: 2×2 cells × 2 reps = 8 ledger
+// tasks with dwell histograms on, chunked singly so every fault
+// schedule has plenty of chunk boundaries to land on.
+func chaosRecipe() studycli.Config {
+	return studycli.Config{
+		Scenario: "stress-clouds", Duration: 12,
+		Storage: "ideal:0.047,supercap:0.047", Util: "1,0.6",
+		Reps: 2, Seed: 23,
+		Bins: 32, HistLo: 4, HistHi: 6,
+	}
+}
+
+func buildRecipe(raw json.RawMessage) (study.Study, error) {
+	var c studycli.Config
+	if err := json.Unmarshal(raw, &c); err != nil {
+		return study.Study{}, err
+	}
+	return c.Build()
+}
+
+// refOutcome runs the study unsharded, once per test binary.
+var refOnce sync.Once
+var refJSON []byte
+
+func reference(t *testing.T) []byte {
+	t.Helper()
+	refOnce.Do(func() {
+		st, err := chaosRecipe().Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := st.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := out.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		refJSON = buf.Bytes()
+	})
+	if refJSON == nil {
+		t.Fatal("reference outcome unavailable (earlier failure)")
+	}
+	return refJSON
+}
+
+func newChaosServer(t *testing.T, cfg coord.Config) *coord.Server {
+	t.Helper()
+	recipe := chaosRecipe()
+	st, err := recipe.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(recipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Study = st
+	cfg.Recipe = raw
+	if cfg.ChunkSize == 0 {
+		cfg.ChunkSize = 1
+	}
+	s, err := coord.NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// chaosWorker builds a worker with fast, deterministic retry pacing and
+// an optional fault schedule on its transport.
+func chaosWorker(t *testing.T, url string, i int, tr http.RoundTripper) *coord.Worker {
+	t.Helper()
+	w := &coord.Worker{
+		URL: url, Name: fmt.Sprintf("chaos-%d", i),
+		BuildStudy: buildRecipe, Workers: 1, Logf: t.Logf,
+		RetryBase: 5 * time.Millisecond, RetryCap: 100 * time.Millisecond,
+		RetryAttempts: 10, RetrySeed: int64(1000 + i),
+	}
+	if tr != nil {
+		w.HTTP = &http.Client{Transport: tr}
+	}
+	return w
+}
+
+// runWorkers runs n workers to completion and fails the test on any
+// worker error.
+func runWorkers(t *testing.T, ws ...*coord.Worker) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make(chan error, len(ws))
+	for _, w := range ws {
+		wg.Add(1)
+		go func(w *coord.Worker) {
+			defer wg.Done()
+			errs <- w.Run(ctx)
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("worker: %v", err)
+		}
+	}
+}
+
+// assertOutcome fetches /v1/outcome and compares it byte-for-byte with
+// the unsharded reference export.
+func assertOutcome(t *testing.T, label, url string) {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/outcome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got bytes.Buffer
+	if _, err := got.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: GET /v1/outcome = HTTP %d: %s", label, resp.StatusCode, got.String())
+	}
+	if !bytes.Equal(got.Bytes(), reference(t)) {
+		t.Fatalf("%s: coordinated outcome diverges from the unsharded run:\n%s\nvs\n%s",
+			label, got.String(), string(reference(t)))
+	}
+}
+
+// TestChaosLostSubmitResponse: the acknowledgement of the first chunk
+// submission is lost in transit. The worker must retry, the coordinator
+// must answer idempotently, and not a bit of the aggregate may move.
+func TestChaosLostSubmitResponse(t *testing.T) {
+	s := newChaosServer(t, coord.Config{Logf: t.Logf})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	tr := faults.NewTransport(nil, faults.Rule{
+		Method: http.MethodPost, Path: "/v1/chunks", Nth: 1, Op: faults.DropResponse,
+	})
+	tr.Logf = t.Logf
+	runWorkers(t, chaosWorker(t, srv.URL, 0, tr), chaosWorker(t, srv.URL, 1, nil))
+	if tr.Fired() != 1 {
+		t.Fatalf("schedule fired %d faults, want 1", tr.Fired())
+	}
+	assertOutcome(t, "lost-submit-response", srv.URL)
+}
+
+// TestChaosDuplicatedSubmit: a fault duplicates a submission on the
+// wire (an at-least-once proxy). The second copy must fold nothing.
+func TestChaosDuplicatedSubmit(t *testing.T) {
+	s := newChaosServer(t, coord.Config{Logf: t.Logf})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	tr := faults.NewTransport(nil, faults.Rule{
+		Method: http.MethodPost, Path: "/v1/chunks", Nth: 2, Op: faults.DupRequest,
+	})
+	runWorkers(t, chaosWorker(t, srv.URL, 0, tr))
+	if tr.Fired() != 1 {
+		t.Fatalf("schedule fired %d faults, want 1", tr.Fired())
+	}
+	assertOutcome(t, "duplicated-submit", srv.URL)
+}
+
+// TestChaosDroppedAndTruncatedExchanges: dropped lease requests and a
+// truncated study-info response force the retry path on every endpoint
+// the worker loop uses.
+func TestChaosDroppedAndTruncatedExchanges(t *testing.T) {
+	s := newChaosServer(t, coord.Config{Logf: t.Logf})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	tr := faults.NewTransport(nil,
+		faults.Rule{Method: http.MethodGet, Path: "/v1/study", Nth: 1, Op: faults.TruncateResponse},
+		faults.Rule{Method: http.MethodPost, Path: "/v1/lease", Nth: 1, Times: 2, Op: faults.DropRequest},
+		faults.Rule{Method: http.MethodPost, Path: "/v1/chunks", Nth: 3, Op: faults.TruncateResponse},
+		faults.Rule{Method: http.MethodPost, Path: "/v1/lease", Nth: 5, Op: faults.Delay, Delay: 20 * time.Millisecond},
+	)
+	tr.Logf = t.Logf
+	runWorkers(t, chaosWorker(t, srv.URL, 0, tr))
+	if tr.Fired() < 4 {
+		t.Fatalf("schedule fired %d faults, want ≥4", tr.Fired())
+	}
+	assertOutcome(t, "dropped-and-truncated", srv.URL)
+}
+
+// TestChaosWorkerSIGKILL: a worker leases a chunk and vanishes without
+// a trace; the lease expires and survivors re-run the chunk.
+func TestChaosWorkerSIGKILL(t *testing.T) {
+	s := newChaosServer(t, coord.Config{
+		Logf: t.Logf, LeaseTTL: 200 * time.Millisecond, Backoff: time.Millisecond,
+	})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// The casualty: a real Worker loop killed (context cancel is as
+	// close as in-process gets to SIGKILL — no submit, no cleanup)
+	// right after it leases its first chunk.
+	leased := make(chan struct{}, 1)
+	killCtx, kill := context.WithCancel(context.Background())
+	defer kill()
+	casualty := chaosWorker(t, srv.URL, 9, nil)
+	casualty.Logf = func(format string, args ...any) {
+		t.Logf("casualty: "+format, args...)
+		if strings.Contains(format, "running chunk") {
+			select {
+			case leased <- struct{}{}:
+			default:
+			}
+		}
+	}
+	go func() {
+		_ = casualty.Run(killCtx) // error expected: killed mid-chunk
+	}()
+	select {
+	case <-leased:
+	case <-time.After(10 * time.Second):
+		t.Fatal("casualty never leased a chunk")
+	}
+	kill()
+
+	runWorkers(t, chaosWorker(t, srv.URL, 0, nil), chaosWorker(t, srv.URL, 1, nil))
+	assertOutcome(t, "worker-sigkill", srv.URL)
+}
+
+// TestChaosCoordinatorKillRestart is the tentpole scenario: the
+// coordinator is killed cold mid-study and a new incarnation restarts
+// from the journal behind the same URL. Workers ride out the outage on
+// their retry loops; no folded chunk is lost; the aggregate does not
+// move a bit.
+func TestChaosCoordinatorKillRestart(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "chaos.journal")
+	killArm := make(chan struct{})
+	var killOnce sync.Once
+	s1 := newChaosServer(t, coord.Config{
+		Logf: t.Logf, JournalPath: journal,
+		OnChunk: func(st coord.Status) {
+			if st.DoneChunks >= 2 {
+				killOnce.Do(func() { close(killArm) })
+			}
+		},
+	})
+	chaos := faults.NewChaos(s1.Handler())
+	srv := httptest.NewServer(chaos)
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		w := chaosWorker(t, srv.URL, i, nil)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- w.Run(ctx)
+		}()
+	}
+
+	select {
+	case <-killArm:
+	case <-time.After(30 * time.Second):
+		t.Fatal("study never reached the kill point")
+	}
+	chaos.Kill() // returns once in-flight requests drain: s1 is dead and quiescent
+	t.Log("chaos: coordinator killed, restarting from journal")
+
+	s2 := newChaosServer(t, coord.Config{Logf: t.Logf, JournalPath: journal})
+	if replayed := s2.Status().DoneChunks; replayed < 2 {
+		t.Fatalf("restarted coordinator replayed %d chunks, want ≥2", replayed)
+	}
+	chaos.Restart(s2.Handler())
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("worker: %v", err)
+		}
+	}
+	select {
+	case <-s2.Done():
+	default:
+		t.Fatal("restarted coordinator not done after workers exited")
+	}
+	assertOutcome(t, "coordinator-kill-restart", srv.URL)
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosTornJournalTail: the coordinator dies mid-append — the
+// journal ends inside a record. Restart truncates the torn tail, keeps
+// every whole record, re-leases the torn chunk and still converges to
+// the reference aggregate.
+func TestChaosTornJournalTail(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "torn.journal")
+	s1 := newChaosServer(t, coord.Config{Logf: t.Logf, JournalPath: journal})
+	srv1 := httptest.NewServer(s1.Handler())
+
+	// Fold exactly two chunks through a budgeted worker, then abandon
+	// the incarnation (no drain, no close).
+	budget := chaosWorker(t, srv1.URL, 0, nil)
+	budget.MaxChunks = 2
+	runWorkers(t, budget)
+	srv1.Close()
+	if got := s1.Status().DoneChunks; got != 2 {
+		t.Fatalf("pre-crash incarnation folded %d chunks, want 2", got)
+	}
+
+	// Tear the tail: the crash hit mid-append of the second record.
+	if err := os.Truncate(journal, sizeOf(t, journal)-3); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := newChaosServer(t, coord.Config{Logf: t.Logf, JournalPath: journal})
+	if got := s2.Status().DoneChunks; got != 1 {
+		t.Fatalf("post-tear replay recovered %d chunks, want 1 (the torn record re-leases)", got)
+	}
+	srv2 := httptest.NewServer(s2.Handler())
+	defer srv2.Close()
+	runWorkers(t, chaosWorker(t, srv2.URL, 1, nil))
+	assertOutcome(t, "torn-journal-tail", srv2.URL)
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sizeOf(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}

@@ -1,0 +1,304 @@
+// Package faults is a deterministic fault-injection harness for the
+// coordinator protocol: an http.RoundTripper wrapper that drops,
+// delays, duplicates and truncates chosen exchanges, and a Chaos front
+// that lets a test "kill -9" the coordinator behind a stable URL and
+// restart a fresh incarnation from its journal.
+//
+// Determinism is the point. Every fault fires on an exactly-specified
+// exchange (the Nth request matching a method/path rule), so a chaos
+// schedule replays identically run after run — a failing schedule is a
+// reproducible bug report, not a flake. Randomised schedules belong in
+// the caller: derive rules from a seeded PRNG and the schedule is still
+// replayable from the seed.
+package faults
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Op is what an injected fault does to a matched exchange.
+type Op int
+
+const (
+	// DropRequest fails the exchange before it reaches the server —
+	// a connection that died on the way out.
+	DropRequest Op = iota
+	// DropResponse delivers the request, then loses the answer — the
+	// lost-200 case: the server did the work, the client cannot know.
+	DropResponse
+	// DupRequest delivers the request twice back to back and returns
+	// the second response — a retrying proxy or an at-least-once queue.
+	DupRequest
+	// Delay sleeps Rule.Delay before delivering — a straggling network.
+	Delay
+	// TruncateResponse delivers the request but cuts the response body
+	// in half — a torn connection mid-answer.
+	TruncateResponse
+)
+
+func (o Op) String() string {
+	switch o {
+	case DropRequest:
+		return "drop-request"
+	case DropResponse:
+		return "drop-response"
+	case DupRequest:
+		return "dup-request"
+	case Delay:
+		return "delay"
+	case TruncateResponse:
+		return "truncate-response"
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Rule fires Op on chosen exchanges: those whose method matches (empty
+// = any) and whose URL path contains Path (empty = any), counted
+// per-rule. Nth picks the first firing occurrence (1-based; 0 means the
+// first), Times how many consecutive matches fire from there (default
+// 1, negative = forever).
+type Rule struct {
+	Method string
+	Path   string
+	Nth    int
+	Times  int
+	Op     Op
+	Delay  time.Duration
+
+	seen int
+}
+
+func (r *Rule) matches(req *http.Request) bool {
+	if r.Method != "" && r.Method != req.Method {
+		return false
+	}
+	if r.Path != "" && !strings.Contains(req.URL.Path, r.Path) {
+		return false
+	}
+	r.seen++
+	first := r.Nth
+	if first < 1 {
+		first = 1
+	}
+	times := r.Times
+	if times == 0 {
+		times = 1
+	}
+	if r.seen < first {
+		return false
+	}
+	return times < 0 || r.seen < first+times
+}
+
+// DroppedError is the transport error injected for dropped exchanges —
+// distinguishable from real network failures in test logs.
+type DroppedError struct {
+	Op   Op
+	Path string
+}
+
+func (e *DroppedError) Error() string {
+	return fmt.Sprintf("faults: injected %s on %s", e.Op, e.Path)
+}
+
+// Timeout marks the error as transient, like the net errors it stands
+// in for.
+func (e *DroppedError) Timeout() bool { return true }
+
+// Transport wraps a base http.RoundTripper with a fault schedule. Safe
+// for concurrent use; rules are evaluated in order and the first match
+// fires.
+type Transport struct {
+	Base http.RoundTripper
+	// Logf, when non-nil, receives one line per injected fault.
+	Logf func(format string, args ...any)
+
+	mu    sync.Mutex
+	rules []*Rule
+	fired int
+}
+
+// NewTransport builds a fault-injecting transport over base (nil means
+// http.DefaultTransport).
+func NewTransport(base http.RoundTripper, rules ...Rule) *Transport {
+	t := &Transport{Base: base}
+	for i := range rules {
+		r := rules[i]
+		t.rules = append(t.rules, &r)
+	}
+	return t
+}
+
+// Fired returns how many faults have been injected so far — tests
+// assert their schedule actually happened.
+func (t *Transport) Fired() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.fired
+}
+
+func (t *Transport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+func (t *Transport) logf(format string, args ...any) {
+	if t.Logf != nil {
+		t.Logf(format, args...)
+	}
+}
+
+// RoundTrip applies the first matching rule to the exchange.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	var hit *Rule
+	for _, r := range t.rules {
+		if r.matches(req) {
+			hit = r
+			t.fired++
+			break
+		}
+	}
+	t.mu.Unlock()
+	if hit == nil {
+		return t.base().RoundTrip(req)
+	}
+	t.logf("faults: %s %s %s", hit.Op, req.Method, req.URL.Path)
+
+	switch hit.Op {
+	case DropRequest:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, &DroppedError{Op: DropRequest, Path: req.URL.Path}
+
+	case Delay:
+		time.Sleep(hit.Delay)
+		return t.base().RoundTrip(req)
+
+	case DropResponse:
+		resp, err := t.base().RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		// The server processed the request; the client never learns.
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, &DroppedError{Op: DropResponse, Path: req.URL.Path}
+
+	case DupRequest:
+		body, err := bufferBody(req)
+		if err != nil {
+			return nil, err
+		}
+		first := req.Clone(req.Context())
+		first.Body = io.NopCloser(bytes.NewReader(body))
+		resp, err := t.base().RoundTrip(first)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		second := req.Clone(req.Context())
+		second.Body = io.NopCloser(bytes.NewReader(body))
+		return t.base().RoundTrip(second)
+
+	case TruncateResponse:
+		resp, err := t.base().RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		cut := data[:len(data)/2]
+		resp.Body = io.NopCloser(bytes.NewReader(cut))
+		resp.ContentLength = int64(len(cut))
+		resp.Header.Del("Content-Length")
+		return resp, nil
+	}
+	return nil, fmt.Errorf("faults: unknown op %v", hit.Op)
+}
+
+// bufferBody reads the request body fully so it can be replayed.
+func bufferBody(req *http.Request) ([]byte, error) {
+	if req.Body == nil {
+		return nil, nil
+	}
+	defer req.Body.Close()
+	return io.ReadAll(req.Body)
+}
+
+// Chaos is a stable HTTP front over a swappable backend handler: the
+// coordinator-kill lever. Kill() abandons the current backend without
+// any graceful shutdown — exactly what SIGKILL does to a process — and
+// every request until Restart() is answered 503, which workers treat as
+// a retryable outage. Restart(handler) installs the next incarnation
+// (typically a coord.Server rebuilt from the same journal) behind the
+// unchanged URL.
+type Chaos struct {
+	mu       sync.Mutex
+	idle     sync.Cond
+	h        http.Handler
+	inflight int
+}
+
+// NewChaos fronts the given handler.
+func NewChaos(h http.Handler) *Chaos {
+	c := &Chaos{h: h}
+	c.idle.L = &c.mu
+	return c
+}
+
+// Kill takes the backend down hard: no new request reaches it, and Kill
+// returns only once every in-flight request has drained — so the caller
+// may hand the dead incarnation's shared state (its journal file) to a
+// successor without two writers racing. Requests already inside the old
+// handler finish against its now-abandoned state, exactly as they would
+// against a process that died a moment after responding. Do not call
+// Kill from inside a request handler; it would wait on itself.
+func (c *Chaos) Kill() {
+	c.mu.Lock()
+	c.h = nil
+	for c.inflight > 0 {
+		c.idle.Wait()
+	}
+	c.mu.Unlock()
+}
+
+// Restart installs the next incarnation.
+func (c *Chaos) Restart(h http.Handler) {
+	c.mu.Lock()
+	c.h = h
+	c.mu.Unlock()
+}
+
+func (c *Chaos) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	h := c.h
+	if h == nil {
+		c.mu.Unlock()
+		http.Error(w, "faults: coordinator killed", http.StatusServiceUnavailable)
+		return
+	}
+	c.inflight++
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		c.inflight--
+		if c.inflight == 0 {
+			c.idle.Broadcast()
+		}
+		c.mu.Unlock()
+	}()
+	h.ServeHTTP(w, r)
+}

@@ -1,0 +1,210 @@
+package faults
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newEchoServer counts requests per path and echoes a body that encodes
+// the count, so tests can see exactly how many times the server was hit
+// and which response copy they got.
+func newEchoServer(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := hits.Add(1)
+		io.Copy(io.Discard, r.Body)
+		fmt.Fprintf(w, `{"hit":%d,"path":%q}`, n, r.URL.Path)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &hits
+}
+
+func get(t *testing.T, c *http.Client, url string) (string, error) {
+	t.Helper()
+	resp, err := c.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+// TestTransportDropRequest: the dropped exchange never reaches the
+// server, and only the scheduled occurrence is dropped.
+func TestTransportDropRequest(t *testing.T) {
+	srv, hits := newEchoServer(t)
+	tr := NewTransport(nil, Rule{Path: "/lease", Nth: 2, Op: DropRequest})
+	c := &http.Client{Transport: tr}
+
+	if _, err := get(t, c, srv.URL+"/lease"); err != nil {
+		t.Fatalf("1st exchange: %v", err)
+	}
+	if _, err := get(t, c, srv.URL+"/lease"); err == nil || !strings.Contains(err.Error(), "drop-request") {
+		t.Fatalf("2nd exchange not dropped: %v", err)
+	}
+	if _, err := get(t, c, srv.URL+"/lease"); err != nil {
+		t.Fatalf("3rd exchange: %v", err)
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("server saw %d requests, want 2 (the drop must not reach it)", hits.Load())
+	}
+	if tr.Fired() != 1 {
+		t.Fatalf("Fired() = %d, want 1", tr.Fired())
+	}
+}
+
+// TestTransportDropResponse: the server processes the request but the
+// client sees a transport error — the lost-200 shape.
+func TestTransportDropResponse(t *testing.T) {
+	srv, hits := newEchoServer(t)
+	tr := NewTransport(nil, Rule{Nth: 1, Op: DropResponse})
+	c := &http.Client{Transport: tr}
+
+	if _, err := get(t, c, srv.URL+"/chunks"); err == nil || !strings.Contains(err.Error(), "drop-response") {
+		t.Fatalf("response not dropped: %v", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server saw %d requests, want 1 — DropResponse must deliver the request", hits.Load())
+	}
+}
+
+// TestTransportDupRequest: the server sees the exchange twice; the
+// client gets the second response.
+func TestTransportDupRequest(t *testing.T) {
+	srv, hits := newEchoServer(t)
+	tr := NewTransport(nil, Rule{Nth: 1, Op: DupRequest})
+	c := &http.Client{Transport: tr}
+
+	body, err := get(t, c, srv.URL+"/chunks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("server saw %d requests, want 2", hits.Load())
+	}
+	if !strings.Contains(body, `"hit":2`) {
+		t.Fatalf("client got %q, want the second response", body)
+	}
+}
+
+// TestTransportTruncateResponse: the delivered body is cut in half.
+func TestTransportTruncateResponse(t *testing.T) {
+	srv, _ := newEchoServer(t)
+	tr := NewTransport(nil, Rule{Nth: 1, Op: TruncateResponse})
+	c := &http.Client{Transport: tr}
+
+	whole, err := get(t, &http.Client{}, srv.URL+"/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut, err := get(t, c, srv.URL+"/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cut) >= len(whole) || !strings.HasPrefix(whole, cut[:4]) {
+		t.Fatalf("truncated response %q not a prefix-half of %q", cut, whole)
+	}
+}
+
+// TestTransportRuleScoping: method/path filters and Times windows are
+// honoured.
+func TestTransportRuleScoping(t *testing.T) {
+	srv, hits := newEchoServer(t)
+	tr := NewTransport(nil, Rule{Method: http.MethodPost, Path: "/only", Nth: 1, Times: 2, Op: DropRequest})
+	c := &http.Client{Transport: tr}
+
+	if _, err := get(t, c, srv.URL+"/only"); err != nil { // GET: method filter skips
+		t.Fatalf("GET through POST-only rule: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := c.Post(srv.URL+"/only", "text/plain", strings.NewReader("x")); err == nil {
+			t.Fatalf("POST %d not dropped", i+1)
+		}
+	}
+	if _, err := c.Post(srv.URL+"/only", "text/plain", strings.NewReader("x")); err != nil {
+		t.Fatalf("POST after Times window: %v", err)
+	}
+	if _, err := c.Post(srv.URL+"/other", "text/plain", strings.NewReader("x")); err != nil {
+		t.Fatalf("POST to unmatched path: %v", err)
+	}
+	if hits.Load() != 3 || tr.Fired() != 2 {
+		t.Fatalf("hits=%d fired=%d, want 3 and 2", hits.Load(), tr.Fired())
+	}
+}
+
+// TestTransportDelay delays only the matched exchange.
+func TestTransportDelay(t *testing.T) {
+	srv, _ := newEchoServer(t)
+	tr := NewTransport(nil, Rule{Nth: 1, Op: Delay, Delay: 50 * time.Millisecond})
+	c := &http.Client{Transport: tr}
+	start := time.Now()
+	if _, err := get(t, c, srv.URL+"/x"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("delayed exchange took %v, want ≥50ms", d)
+	}
+}
+
+// TestChaosKillRestart: a killed backend answers 503 until restarted;
+// Kill waits out in-flight requests so the next incarnation can safely
+// take over shared state (the journal).
+func TestChaosKillRestart(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-release
+		w.Write([]byte("gen1"))
+	})
+	chaos := NewChaos(slow)
+	srv := httptest.NewServer(chaos)
+	defer srv.Close()
+
+	got := make(chan string, 1)
+	go func() {
+		b, _ := get(t, &http.Client{}, srv.URL)
+		got <- b
+	}()
+	<-entered // the in-flight request is inside gen1
+
+	killed := make(chan struct{})
+	go func() {
+		chaos.Kill() // must block on the in-flight request
+		close(killed)
+	}()
+	select {
+	case <-killed:
+		t.Fatal("Kill returned while a request was still in flight")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	<-killed
+	if b := <-got; b != "gen1" {
+		t.Fatalf("in-flight request got %q, want gen1", b)
+	}
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("killed backend answered %d, want 503", resp.StatusCode)
+	}
+
+	chaos.Restart(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("gen2"))
+	}))
+	if b, err := get(t, &http.Client{}, srv.URL); err != nil || b != "gen2" {
+		t.Fatalf("restarted backend: %q, %v", b, err)
+	}
+}
