@@ -30,6 +30,11 @@
 // chunks still missing. On SIGINT/SIGTERM it instead drains
 // gracefully: stops granting leases, finishes in-flight submissions,
 // flushes the journal and prints how to resume.
+//
+// With -token, every endpoint requires "Authorization: Bearer <token>"
+// with one of the configured tokens (give workers theirs via
+// `pnstudy -worker URL -token ...`) — the shared auth layer pnserve
+// uses, for coordinators reachable from untrusted networks.
 package main
 
 import (
@@ -49,36 +54,55 @@ import (
 	"pnps/internal/studycli"
 )
 
-func main() {
-	var (
-		addr     = flag.String("addr", ":8080", "HTTP listen address")
-		scn      = flag.String("scenario", "stress-clouds", "registered base scenario")
-		duration = flag.Float64("duration", 0, "override scenario duration, seconds (0 keeps the registered value)")
-		storage  = flag.String("storage", "", "storage axis: ideal:F,supercap:F,hybrid:F:R")
-		control  = flag.String("control", "", "control axis: pn, static, or governor names")
-		util     = flag.String("util", "", "workload axis: utilisations in [0,1]")
-		reps     = flag.Int("reps", 4, "Monte-Carlo repetitions per cell")
-		seed     = flag.Int64("seed", 2017, "study base seed")
-		paired   = flag.Bool("paired", false, "common random numbers: one realisation per repetition across all cells")
-		bins     = flag.Int("bins", 250, "dwell-time voltage histogram bins (0 disables)")
-		histLo   = flag.Float64("histlo", 0, "dwell histogram lower bound, volts")
-		histHi   = flag.Float64("histhi", 10, "dwell histogram upper bound, volts")
-		chunk    = flag.Int("chunk", 64, "lease granularity, ledger tasks per chunk")
-		leaseTTL = flag.Duration("lease-ttl", 2*time.Minute, "lease time-to-live before a chunk is re-leased")
-		attempts = flag.Int("max-attempts", 5, "lease attempts per chunk before the study fails")
-		backoff  = flag.Duration("backoff", time.Second, "re-lease backoff per prior attempt")
-		journal  = flag.String("journal", "", "write-ahead journal path: folded chunks survive a coordinator crash and replay on restart")
-		fsyncStr = flag.String("fsync", "always", "journal durability: always (fsync each record) or off (leave flushing to the OS)")
-		verbose  = flag.Bool("v", false, "log lease lifecycle events")
-		cellsCSV = flag.String("cells-csv", "", "write per-cell aggregates as CSV to this file")
-		runsCSV  = flag.String("runs-csv", "", "write per-run outcomes as CSV to this file")
-		jsonOut  = flag.String("json", "", "write the full aggregate as JSON to this file")
-	)
-	flag.Parse()
+// options is the parsed CLI surface — separated from main so tests can
+// drive flag parsing and config assembly without spawning processes.
+type options struct {
+	addr     string
+	recipe   studycli.Config
+	cfg      coord.Config // Study and Recipe populated from recipe
+	tokens   []string
+	journal  string
+	cellsCSV string
+	runsCSV  string
+	jsonOut  string
+}
 
+func parseOptions(args []string) (*options, error) {
+	fs := flag.NewFlagSet("pncoord", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", ":8080", "HTTP listen address")
+		scn      = fs.String("scenario", "stress-clouds", "registered base scenario")
+		duration = fs.Float64("duration", 0, "override scenario duration, seconds (0 keeps the registered value)")
+		storage  = fs.String("storage", "", "storage axis: ideal:F,supercap:F,hybrid:F:R")
+		control  = fs.String("control", "", "control axis: pn, static, or governor names")
+		util     = fs.String("util", "", "workload axis: utilisations in [0,1]")
+		reps     = fs.Int("reps", 4, "Monte-Carlo repetitions per cell")
+		seed     = fs.Int64("seed", 2017, "study base seed")
+		paired   = fs.Bool("paired", false, "common random numbers: one realisation per repetition across all cells")
+		bins     = fs.Int("bins", 250, "dwell-time voltage histogram bins (0 disables)")
+		histLo   = fs.Float64("histlo", 0, "dwell histogram lower bound, volts")
+		histHi   = fs.Float64("histhi", 10, "dwell histogram upper bound, volts")
+		chunk    = fs.Int("chunk", 64, "lease granularity, ledger tasks per chunk")
+		leaseTTL = fs.Duration("lease-ttl", 2*time.Minute, "lease time-to-live before a chunk is re-leased")
+		attempts = fs.Int("max-attempts", 5, "lease attempts per chunk before the study fails")
+		backoff  = fs.Duration("backoff", time.Second, "re-lease backoff per prior attempt")
+		journal  = fs.String("journal", "", "write-ahead journal path: folded chunks survive a coordinator crash and replay on restart")
+		fsyncStr = fs.String("fsync", "always", "journal durability: always (fsync each record) or off (leave flushing to the OS)")
+		tokens   = fs.String("token", "", "comma-separated bearer tokens; empty disables authentication")
+		verbose  = fs.Bool("v", false, "log lease lifecycle events")
+		cellsCSV = fs.String("cells-csv", "", "write per-cell aggregates as CSV to this file")
+		runsCSV  = fs.String("runs-csv", "", "write per-run outcomes as CSV to this file")
+		jsonOut  = fs.String("json", "", "write the full aggregate as JSON to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
 	fsync, err := coord.ParseSyncPolicy(*fsyncStr)
 	if err != nil {
-		fatal(err)
+		return nil, err
 	}
 
 	recipe := studycli.Config{
@@ -89,47 +113,61 @@ func main() {
 	}
 	st, err := recipe.Build()
 	if err != nil {
-		fatal(err)
+		return nil, err
 	}
 	rawRecipe, err := json.Marshal(recipe)
 	if err != nil {
-		fatal(err)
+		return nil, err
 	}
 
-	cfg := coord.Config{
-		Study: st, Recipe: rawRecipe,
-		ChunkSize: *chunk, LeaseTTL: *leaseTTL,
-		MaxAttempts: *attempts, Backoff: *backoff,
-		JournalPath: *journal, JournalSync: fsync,
-		OnChunk: printChunkStatus,
+	opt := &options{
+		addr: *addr, recipe: recipe,
+		cfg: coord.Config{
+			Study: st, Recipe: rawRecipe,
+			ChunkSize: *chunk, LeaseTTL: *leaseTTL,
+			MaxAttempts: *attempts, Backoff: *backoff,
+			JournalPath: *journal, JournalSync: fsync,
+			OnChunk: printChunkStatus,
+		},
+		tokens:  coord.SplitTokens(*tokens),
+		journal: *journal,
+		cellsCSV: *cellsCSV, runsCSV: *runsCSV, jsonOut: *jsonOut,
 	}
 	if *verbose {
-		cfg.Logf = func(format string, args ...any) {
+		opt.cfg.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
-	srv, err := coord.NewServer(cfg)
+	return opt, nil
+}
+
+func main() {
+	opt, err := parseOptions(os.Args[1:])
 	if err != nil {
 		fatal(err)
 	}
-	if replayed := srv.Status().DoneChunks; *journal != "" && replayed > 0 {
-		fmt.Fprintf(os.Stderr, "pncoord: journal %s: resuming with %d chunks already durable\n", *journal, replayed)
+	srv, err := coord.NewServer(opt.cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if replayed := srv.Status().DoneChunks; opt.journal != "" && replayed > 0 {
+		fmt.Fprintf(os.Stderr, "pncoord: journal %s: resuming with %d chunks already durable\n", opt.journal, replayed)
 	}
 
-	ln, err := net.Listen("tcp", *addr)
+	ln, err := net.Listen("tcp", opt.addr)
 	if err != nil {
 		fatal(err)
 	}
 	info := srv.Info()
 	fmt.Fprintf(os.Stderr, "pncoord: study %s — %d tasks in %d chunks of %d, serving on %s\n",
 		info.Name, info.TotalTasks, info.NumChunks, info.ChunkSize, ln.Addr())
-	fmt.Fprintf(os.Stderr, "pncoord: join with: pnstudy -worker http://<this-host>%s\n", *addr)
+	fmt.Fprintf(os.Stderr, "pncoord: join with: pnstudy -worker http://<this-host>%s\n", opt.addr)
 
 	// The server is hardened against slow or hostile clients: a peer
 	// that dribbles its headers, never reads its response or opens a
 	// connection and goes silent gets cut, not a goroutine forever.
 	httpSrv := &http.Server{
-		Handler:           srv.Handler(),
+		Handler:           coord.RequireBearer(opt.tokens, srv.Handler()),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       time.Minute,
 		WriteTimeout:      time.Minute,
@@ -167,8 +205,8 @@ func main() {
 	if interrupted {
 		st := srv.Status()
 		fmt.Fprintf(os.Stderr, "pncoord: stopped with %d/%d chunks folded\n", st.DoneChunks, st.TotalChunks)
-		if *journal != "" {
-			fmt.Fprintf(os.Stderr, "pncoord: folded chunks are durable — resume with the same flags and -journal %s\n", *journal)
+		if opt.journal != "" {
+			fmt.Fprintf(os.Stderr, "pncoord: folded chunks are durable — resume with the same flags and -journal %s\n", opt.journal)
 		} else {
 			fmt.Fprintln(os.Stderr, "pncoord: no -journal was set; a restart re-runs the study from scratch")
 		}
@@ -179,15 +217,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	studycli.PrintOutcome(os.Stdout, st, out)
-	if *cellsCSV != "" {
-		err = studycli.WriteFileAtomic(*cellsCSV, out.WriteCellsCSV)
+	studycli.PrintOutcome(os.Stdout, opt.cfg.Study, out)
+	if opt.cellsCSV != "" {
+		err = studycli.WriteFileAtomic(opt.cellsCSV, out.WriteCellsCSV)
 	}
-	if err == nil && *runsCSV != "" {
-		err = studycli.WriteFileAtomic(*runsCSV, out.WriteRunsCSV)
+	if err == nil && opt.runsCSV != "" {
+		err = studycli.WriteFileAtomic(opt.runsCSV, out.WriteRunsCSV)
 	}
-	if err == nil && *jsonOut != "" {
-		err = studycli.WriteFileAtomic(*jsonOut, out.WriteJSON)
+	if err == nil && opt.jsonOut != "" {
+		err = studycli.WriteFileAtomic(opt.jsonOut, out.WriteJSON)
 	}
 	if err != nil {
 		fatal(err)

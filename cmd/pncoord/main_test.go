@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"pnps/internal/study"
+	"pnps/internal/studycli"
+)
+
+func TestParseOptionsDefaults(t *testing.T) {
+	opt, err := parseOptions(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.addr != ":8080" {
+		t.Errorf("addr = %q", opt.addr)
+	}
+	wantRecipe := studycli.Config{
+		Scenario: "stress-clouds", Reps: 4, Seed: 2017, Bins: 250, HistHi: 10,
+	}
+	if opt.recipe != wantRecipe {
+		t.Errorf("default recipe = %+v, want %+v", opt.recipe, wantRecipe)
+	}
+	cfg := opt.cfg
+	if cfg.ChunkSize != 64 || cfg.LeaseTTL != 2*time.Minute || cfg.MaxAttempts != 5 || cfg.Backoff != time.Second {
+		t.Errorf("lease defaults: chunk %d, ttl %v, attempts %d, backoff %v",
+			cfg.ChunkSize, cfg.LeaseTTL, cfg.MaxAttempts, cfg.Backoff)
+	}
+	if cfg.JournalPath != "" || opt.tokens != nil || cfg.Logf != nil {
+		t.Errorf("journal %q / tokens %v / Logf set = %v by default", cfg.JournalPath, opt.tokens, cfg.Logf != nil)
+	}
+	// The published recipe is the parsed one, byte-exact.
+	var published studycli.Config
+	if err := json.Unmarshal(cfg.Recipe, &published); err != nil || published != opt.recipe {
+		t.Errorf("published recipe %+v (%v), want %+v", published, err, opt.recipe)
+	}
+}
+
+// TestParseOptionsStudyIdentity pins that the matrix flags build the
+// study the recipe describes — axes, seed mode and histogram geometry.
+func TestParseOptionsStudyIdentity(t *testing.T) {
+	opt, err := parseOptions([]string{
+		"-scenario", "stress-clouds", "-duration", "12",
+		"-storage", "ideal:0.047,supercap:0.047", "-util", "1,0.6",
+		"-reps", "8", "-seed", "23", "-paired",
+		"-bins", "32", "-histlo", "4", "-histhi", "6",
+		"-token", "secret-a, secret-b",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := opt.cfg.Study
+	if st.Reps != 8 || st.Seed != 23 || st.SeedMode != study.SeedPerRep {
+		t.Errorf("study: reps %d, seed %d, mode %v", st.Reps, st.Seed, st.SeedMode)
+	}
+	if len(st.Axes) != 2 || st.Axes[0].Name != "storage" || st.Axes[1].Name != "load" {
+		t.Fatalf("axes = %v", st.Axes)
+	}
+	if st.VCHistBins != 32 || st.VCHistLo != 4 || st.VCHistHi != 6 {
+		t.Errorf("hist geometry: %d bins [%g,%g)", st.VCHistBins, st.VCHistLo, st.VCHistHi)
+	}
+	if !reflect.DeepEqual(opt.tokens, []string{"secret-a", "secret-b"}) {
+		t.Errorf("tokens = %v", opt.tokens)
+	}
+	// The same recipe rebuilt (the worker's path) carries the same
+	// fingerprint — the skew check the protocol rests on.
+	rebuilt, err := opt.recipe.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpA, err := st.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpB, err := rebuilt.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fpA.Equal(fpB) {
+		t.Error("recipe rebuild changes the study fingerprint")
+	}
+}
+
+func TestParseOptionsErrors(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-no-such-flag"}, "flag provided but not defined"},
+		{[]string{"stray"}, "unexpected arguments"},
+		{[]string{"-fsync", "sometimes"}, "fsync"},
+		{[]string{"-scenario", "no-such-scenario"}, "unknown scenario"},
+		{[]string{"-storage", "ideal:-1"}, "bad capacitance"},
+		{[]string{"-util", "1.5"}, "bad utilisation"},
+	} {
+		_, err := parseOptions(tc.args)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("parseOptions(%v) error = %v, want %q", tc.args, err, tc.want)
+		}
+	}
+}

@@ -85,6 +85,7 @@ func main() {
 		merge    = flag.String("merge", "", "comma-separated shard checkpoints to merge")
 		workerAt = flag.String("worker", "", "join the pncoord coordinator at this URL (matrix flags come from the coordinator)")
 		name     = flag.String("name", "", "worker name reported to the coordinator (-worker; default host-pid)")
+		token    = flag.String("token", "", "bearer token presented to a -token guarded coordinator (-worker)")
 		cellsCSV = flag.String("cells-csv", "", "write per-cell aggregates as CSV to this file")
 		runsCSV  = flag.String("runs-csv", "", "write per-run outcomes as CSV to this file")
 		jsonOut  = flag.String("json", "", "write the full aggregate as JSON to this file")
@@ -101,7 +102,7 @@ func main() {
 
 	ctx := context.Background()
 	if *workerAt != "" {
-		if err := runWorker(ctx, *workerAt, *name, *workers, *engine, *batchW); err != nil {
+		if err := runWorker(ctx, *workerAt, *name, *token, *workers, *engine, *batchW); err != nil {
 			fatal(err)
 		}
 		return
@@ -164,13 +165,16 @@ func main() {
 // studycli.Config recipe, is rebuilt locally and fingerprint-verified
 // before any chunk executes. The engine is local execution detail — it
 // never changes results, so each worker picks its own.
-func runWorker(ctx context.Context, url, name string, workers int, engine string, batchWidth int) error {
+func runWorker(ctx context.Context, url, name, token string, workers int, engine string, batchWidth int) error {
 	w := &coord.Worker{
-		URL: url, Name: name, Workers: workers,
+		URL: url, Name: name, Token: token, Workers: workers,
 		BuildStudy: func(recipe json.RawMessage) (study.Study, error) {
-			var c studycli.Config
-			if err := json.Unmarshal(recipe, &c); err != nil {
-				return study.Study{}, fmt.Errorf("undecodable study recipe: %w", err)
+			// Strict decode: a recipe field this build does not know means
+			// flag skew between coordinator and worker — refuse before the
+			// fingerprint check has to diagnose it less precisely.
+			c, err := studycli.DecodeConfig(recipe)
+			if err != nil {
+				return study.Study{}, err
 			}
 			st, err := c.Build()
 			if err != nil {

@@ -1,0 +1,85 @@
+package coord
+
+import (
+	"context"
+	"crypto/sha256"
+	"crypto/subtle"
+	"net/http"
+	"strings"
+)
+
+// Bearer-token authentication shared by the coordinator (pncoord) and
+// the simulation service (pnserve). The scheme is deliberately minimal:
+// a static token set, presented as "Authorization: Bearer <token>" on
+// every request — enough to keep an exposed coordinator or serve
+// endpoint from accepting work (or leaking results) to strangers on an
+// untrusted network. Transport privacy is the deployment's problem
+// (terminate TLS in front); this layer only answers "is this caller one
+// of ours, and which one".
+//
+// Comparison is constant-time over SHA-256 digests of the tokens:
+// hashing first makes the comparison length-independent (ConstantTime-
+// Compare short-circuits on unequal lengths, which would leak the token
+// length), and every configured token is checked on every request so
+// the match position does not modulate timing either.
+
+type bearerKey struct{}
+
+// RequireBearer wraps h with bearer-token authentication. An empty
+// token set disables authentication (h is returned unchanged) — the
+// trusted-network default, matching the pre-auth behaviour. With
+// tokens configured, a request without a well-formed Authorization
+// header is answered 401, and a well-formed header carrying an unknown
+// token 403; the matched token travels in the request context (see
+// BearerToken) so multi-tenant handlers can namespace per caller.
+func RequireBearer(tokens []string, h http.Handler) http.Handler {
+	if len(tokens) == 0 {
+		return h
+	}
+	sums := make([][32]byte, len(tokens))
+	for i, tok := range tokens {
+		sums[i] = sha256.Sum256([]byte(tok))
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		presented, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if !ok || presented == "" {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="pnps"`)
+			http.Error(w, "missing bearer token", http.StatusUnauthorized)
+			return
+		}
+		sum := sha256.Sum256([]byte(presented))
+		match := -1
+		for i := range sums {
+			// Scan the whole set unconditionally: the first-match index
+			// must not be observable through timing.
+			if subtle.ConstantTimeCompare(sum[:], sums[i][:]) == 1 && match < 0 {
+				match = i
+			}
+		}
+		if match < 0 {
+			http.Error(w, "unknown bearer token", http.StatusForbidden)
+			return
+		}
+		h.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), bearerKey{}, tokens[match])))
+	})
+}
+
+// BearerToken returns the authenticated bearer token of a request that
+// passed RequireBearer, or "" when authentication is disabled — the
+// tenant identity multi-tenant handlers namespace by.
+func BearerToken(r *http.Request) string {
+	tok, _ := r.Context().Value(bearerKey{}).(string)
+	return tok
+}
+
+// SplitTokens parses a comma-separated -token flag value into the token
+// set, dropping empty elements ("" disables auth; "a,,b" is two tokens).
+func SplitTokens(s string) []string {
+	var out []string
+	for _, tok := range strings.Split(s, ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			out = append(out, tok)
+		}
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package coord
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestRequireBearer(t *testing.T) {
+	var gotTenant string
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotTenant = BearerToken(r)
+		w.WriteHeader(http.StatusNoContent)
+	})
+	srv := httptest.NewServer(RequireBearer([]string{"alpha", "beta"}, inner))
+	defer srv.Close()
+
+	get := func(t *testing.T, auth string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, srv.URL, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if auth != "" {
+			req.Header.Set("Authorization", auth)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	// No header, empty scheme, wrong scheme: 401 with a challenge.
+	for _, auth := range []string{"", "Basic YWJjOmRlZg==", "Bearer ", "alpha"} {
+		resp := get(t, auth)
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Fatalf("auth %q: HTTP %d, want 401", auth, resp.StatusCode)
+		}
+		if !strings.Contains(resp.Header.Get("WWW-Authenticate"), "Bearer") {
+			t.Fatalf("auth %q: missing WWW-Authenticate challenge", auth)
+		}
+	}
+	// Well-formed but unknown token: 403.
+	if resp := get(t, "Bearer gamma"); resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("unknown token: HTTP %d, want 403", resp.StatusCode)
+	}
+	// A prefix of a real token must not pass.
+	if resp := get(t, "Bearer alph"); resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("token prefix: HTTP %d, want 403", resp.StatusCode)
+	}
+	// Known tokens pass and surface as the tenant identity.
+	for _, tok := range []string{"alpha", "beta"} {
+		if resp := get(t, "Bearer "+tok); resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("token %q: HTTP %d, want 204", tok, resp.StatusCode)
+		}
+		if gotTenant != tok {
+			t.Fatalf("BearerToken = %q, want %q", gotTenant, tok)
+		}
+	}
+}
+
+func TestRequireBearerDisabled(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if BearerToken(r) != "" {
+			t.Error("tenant identity without auth configured")
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	srv := httptest.NewServer(RequireBearer(nil, inner))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("open server: HTTP %d, want 204", resp.StatusCode)
+	}
+}
+
+func TestSplitTokens(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"a", []string{"a"}},
+		{"a, b ,,c", []string{"a", "b", "c"}},
+	} {
+		if got := SplitTokens(tc.in); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("SplitTokens(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestWorkerBearerToken runs the full worker loop against a
+// token-guarded coordinator: without the token every request is
+// refused (terminal 4xx, no retry storm), with it the study completes.
+func TestWorkerBearerToken(t *testing.T) {
+	s := testServer(t, Config{ChunkSize: 2})
+	srv := httptest.NewServer(RequireBearer([]string{"secret"}, s.Handler()))
+	defer srv.Close()
+
+	bare := &Worker{URL: srv.URL, Name: "anon", BuildStudy: buildFromRecipe}
+	if err := bare.Run(context.Background()); err == nil ||
+		!strings.Contains(err.Error(), "missing bearer token") {
+		t.Fatalf("unauthenticated worker error = %v, want bearer refusal", err)
+	}
+	wrong := &Worker{URL: srv.URL, Name: "spoof", BuildStudy: buildFromRecipe, Token: "guess"}
+	if err := wrong.Run(context.Background()); err == nil ||
+		!strings.Contains(err.Error(), "unknown bearer token") {
+		t.Fatalf("wrong-token worker error = %v, want bearer refusal", err)
+	}
+
+	authed := &Worker{URL: srv.URL, Name: "w1", BuildStudy: buildFromRecipe, Token: "secret"}
+	if err := authed.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	<-s.Done()
+	if _, err := s.Outcome(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -55,6 +55,12 @@ type Worker struct {
 	// RetrySeed seeds the jitter stream (0 derives one from the worker
 	// name) — deterministic so fault-injection schedules replay exactly.
 	RetrySeed int64
+	// Token, when non-empty, is presented as "Authorization: Bearer
+	// <token>" on every request — the client side of the shared
+	// RequireBearer middleware on coordinators exposed to untrusted
+	// networks. An authentication refusal is a 4xx and therefore
+	// terminal, not retried.
+	Token string
 
 	rngOnce sync.Once
 	rng     *rand.Rand
@@ -267,6 +273,9 @@ func (w *Worker) doJSON(ctx context.Context, method, path string, in, out any) (
 			return 0, err
 		}
 		req.Header.Set("Content-Type", "application/json")
+		if w.Token != "" {
+			req.Header.Set("Authorization", "Bearer "+w.Token)
+		}
 		resp, err := w.client().Do(req)
 		if err != nil {
 			if ctx.Err() != nil {

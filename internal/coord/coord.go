@@ -457,6 +457,14 @@ func (s *Server) lease(worker string) Lease {
 		}
 	}
 
+	// Cap the idle hint: the earliest a chunk can free up is a lease
+	// expiry, but the study usually *finishes* long before that — a
+	// worker parked for the full residual TTL would sleep out the
+	// completion (with the 2 m default, minutes past the last fold).
+	// One poll per second per idle worker is negligible load.
+	if retry > time.Second {
+		retry = time.Second
+	}
 	if retry < 50*time.Millisecond {
 		retry = 50 * time.Millisecond
 	}

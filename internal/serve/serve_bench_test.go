@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"pnps/internal/studycli"
+)
+
+// benchRecipe is deliberately small: the miss path's cost is dominated
+// by simulation, and the benchmark's point is the miss/hit ratio — a
+// hit must cost HTTP + store lookup, not engine time.
+func benchRecipe(seed int64) studycli.Config {
+	return studycli.Config{
+		Scenario: "stress-clouds", Duration: 2,
+		Storage: "ideal:0.047", Reps: 1, Seed: seed,
+	}
+}
+
+func benchSubmitWait(b *testing.B, e *env, recipe studycli.Config) JobStatus {
+	b.Helper()
+	resp, data := e.do(b, http.MethodPost, "/v1/jobs", "", recipe)
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		b.Fatalf("submit: HTTP %d (%s)", resp.StatusCode, data)
+	}
+	var js JobStatus
+	if err := json.Unmarshal(data, &js); err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	final, err := e.s.WaitJob(ctx, js.ID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if final.State != JobDone {
+		b.Fatalf("job %s: %s (%s)", js.ID, final.State, final.Error)
+	}
+	e.outcome(b, "", js.ID, FormatJSON)
+	return final
+}
+
+// BenchmarkServeCache measures the full service path — submit over
+// HTTP, wait, fetch the JSON outcome — cold (every submission a new
+// study, simulated) against hot (the same study resubmitted, answered
+// from the content-addressed store). The gap is the cache's value; the
+// hit number is the service's floor latency.
+func BenchmarkServeCache(b *testing.B) {
+	b.Run("miss", func(b *testing.B) {
+		e := newEnv(b, Config{JobWorkers: 1, MaxJobs: 8})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if s := benchSubmitWait(b, e, benchRecipe(int64(i+1))); s.SimulatedRuns == 0 {
+				b.Fatal("miss iteration did not simulate")
+			}
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		e := newEnv(b, Config{JobWorkers: 1, MaxJobs: 8})
+		recipe := benchRecipe(1)
+		benchSubmitWait(b, e, recipe) // populate the store
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if s := benchSubmitWait(b, e, recipe); !s.CacheHit {
+				b.Fatal("hit iteration missed the cache")
+			}
+		}
+	})
+}

@@ -8,6 +8,8 @@
 package studycli
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -37,6 +39,28 @@ type Config struct {
 	Bins     int     `json:"bins,omitempty"`
 	HistLo   float64 `json:"hist_lo,omitempty"`
 	HistHi   float64 `json:"hist_hi,omitempty"`
+}
+
+// DecodeConfig parses a wire-format recipe strictly: unknown fields are
+// rejected, not ignored. The recipe is the one schema pnserve, pncoord
+// and `pnstudy -worker` agree on, and silently dropping a field the
+// sender thought mattered (a typo'd "utll", a field from a newer
+// version) would make two machines build *different* studies from what
+// they believe is the same recipe — the exact skew the fingerprint
+// exists to catch, better refused at the parse boundary with a
+// diagnostic than later with a fingerprint mismatch.
+func DecodeConfig(raw []byte) (Config, error) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var c Config
+	if err := dec.Decode(&c); err != nil {
+		return Config{}, fmt.Errorf("studycli: undecodable recipe: %w", err)
+	}
+	// A second document in the stream is as suspect as an unknown field.
+	if dec.More() {
+		return Config{}, fmt.Errorf("studycli: trailing data after recipe")
+	}
+	return c, nil
 }
 
 // Build assembles the study from the recipe. The same Config always

@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke test of the simulation service on
+# the real binary. Starts pnserve with bearer auth, submits a study,
+# waits for completion, then submits the identical study again and
+# requires the second answer to be a whole-study cache hit with zero
+# simulated runs and byte-identical outcome downloads in every format.
+# Finishes by exercising the graceful drain path with SIGTERM. This is
+# the process-level twin of internal/serve's -race suite — same
+# contract, but with a real listener, real curl clients and a real
+# signal.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+work="$(mktemp -d)"
+port="${SERVE_PORT:-18474}"
+url="http://127.0.0.1:${port}"
+token="smoke-secret"
+auth=(-H "Authorization: Bearer ${token}")
+recipe='{"scenario":"stress-clouds","duration":12,"storage":"ideal:0.047,supercap:0.047","util":"1,0.6","reps":4,"seed":23,"bins":32,"hist_lo":4,"hist_hi":6}'
+
+pids=()
+cleanup() {
+    local p
+    for p in "${pids[@]:-}"; do kill -9 "$p" 2>/dev/null || true; done
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+echo "serve_smoke: building pnserve"
+go build -o "$work/pnserve" ./cmd/pnserve
+
+echo "serve_smoke: starting service on $url"
+"$work/pnserve" -addr "127.0.0.1:${port}" -token "$token" -v \
+    >>"$work/serve.log" 2>&1 &
+serve_pid=$!
+pids+=("$serve_pid")
+
+for _ in $(seq 1 100); do
+    curl -sf --max-time 2 "${auth[@]}" "$url/v1/cache" >/dev/null 2>&1 && break
+    sleep 0.1
+done
+if ! curl -sf --max-time 2 "${auth[@]}" "$url/v1/cache" >/dev/null; then
+    echo "serve_smoke: service never answered on $url" >&2
+    cat "$work/serve.log" >&2
+    exit 1
+fi
+
+echo "serve_smoke: unauthenticated requests must be refused"
+code="$(curl -s -o /dev/null -w '%{http_code}' --max-time 2 "$url/v1/cache")"
+if [ "$code" != "401" ]; then
+    echo "serve_smoke: unauthenticated request got HTTP $code, want 401" >&2
+    exit 1
+fi
+
+field() { sed -n "s/.*\"$1\": \"\\([^\"]*\\)\".*/\\1/p" | head -n 1; }
+
+echo "serve_smoke: submitting study (cold)"
+curl -sf "${auth[@]}" -d "$recipe" "$url/v1/jobs" >"$work/cold-submit.json"
+job="$(field id <"$work/cold-submit.json")"
+if [ -z "$job" ]; then
+    echo "serve_smoke: no job id in submission response:" >&2
+    cat "$work/cold-submit.json" >&2
+    exit 1
+fi
+
+echo "serve_smoke: waiting for $job"
+state=""
+for _ in $(seq 1 600); do
+    state="$(curl -sf "${auth[@]}" "$url/v1/jobs/$job" | field state || true)"
+    [ "$state" = "done" ] && break
+    [ "$state" = "failed" ] && break
+    sleep 0.1
+done
+if [ "$state" != "done" ]; then
+    echo "serve_smoke: job $job ended in state '${state:-?}'" >&2
+    curl -s "${auth[@]}" "$url/v1/jobs/$job" >&2 || true
+    cat "$work/serve.log" >&2
+    exit 1
+fi
+
+for fmt in json cells-csv runs-csv; do
+    curl -sf "${auth[@]}" "$url/v1/jobs/$job/outcome?format=$fmt" >"$work/cold.$fmt"
+done
+
+echo "serve_smoke: resubmitting the identical study (must be a cache hit)"
+curl -sf "${auth[@]}" -d "$recipe" "$url/v1/jobs" >"$work/hit-submit.json"
+hit="$(field id <"$work/hit-submit.json")"
+if ! grep -q '"cache_hit": true' "$work/hit-submit.json" ||
+   ! grep -q '"simulated_runs": 0' "$work/hit-submit.json" ||
+   ! grep -q '"state": "done"' "$work/hit-submit.json"; then
+    echo "serve_smoke: FAIL — resubmission was not an instant zero-work cache hit:" >&2
+    cat "$work/hit-submit.json" >&2
+    exit 1
+fi
+
+for fmt in json cells-csv runs-csv; do
+    curl -sf "${auth[@]}" "$url/v1/jobs/$hit/outcome?format=$fmt" >"$work/hit.$fmt"
+    if ! cmp -s "$work/cold.$fmt" "$work/hit.$fmt"; then
+        echo "serve_smoke: FAIL — $fmt outcome of the cache hit differs from the cold run" >&2
+        exit 1
+    fi
+done
+echo "serve_smoke: cache hit is byte-identical to the cold run in all formats"
+
+echo "serve_smoke: draining with SIGTERM"
+kill -TERM "$serve_pid"
+if ! wait "$serve_pid"; then
+    echo "serve_smoke: service did not exit cleanly on SIGTERM" >&2
+    cat "$work/serve.log" >&2
+    exit 1
+fi
+if ! grep -q "drained" "$work/serve.log"; then
+    echo "serve_smoke: no drain confirmation in the service log" >&2
+    cat "$work/serve.log" >&2
+    exit 1
+fi
+echo "serve_smoke: PASS — cold run, zero-work byte-identical cache hit, graceful drain"
